@@ -1,0 +1,256 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the evaluation (delegating to internal/experiments),
+// plus kernel-level micro-benchmarks that compare the real CPU cost of the
+// dense, CSR, factorized and IPE executors on identical weights.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Individual experiments: go test -bench=BenchmarkFig4 (etc.). The
+// experiment benchmarks run the Fast configuration; use cmd/inspire-bench
+// for full-scale tables.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/autotune"
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/ipe"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/runtime"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// benchExperiment runs one experiment driver per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Out: io.Discard, Fast: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Workloads regenerates Table 1 (workload characteristics).
+func BenchmarkTable1Workloads(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Arithmetic regenerates Table 2 (per-layer op reduction).
+func BenchmarkTable2Arithmetic(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3Encoding regenerates Table 3 (encoding cost).
+func BenchmarkTable3Encoding(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4Energy regenerates Table 4 (traffic & energy).
+func BenchmarkTable4Energy(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFig4PerLayer regenerates Fig 4 (per-layer speedups).
+func BenchmarkFig4PerLayer(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5EndToEnd regenerates Fig 5 (end-to-end latency).
+func BenchmarkFig5EndToEnd(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6aBits regenerates Fig 6a (bit-width sensitivity).
+func BenchmarkFig6aBits(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// BenchmarkFig6bDict regenerates Fig 6b (dictionary budget sensitivity).
+func BenchmarkFig6bDict(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// BenchmarkFig6cSparsity regenerates Fig 6c (sparsity sensitivity).
+func BenchmarkFig6cSparsity(b *testing.B) { benchExperiment(b, "fig6c") }
+
+// BenchmarkFig7Tuning regenerates Fig 7 (tuner convergence).
+func BenchmarkFig7Tuning(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Ablation regenerates Fig 8 (encoder ablation).
+func BenchmarkFig8Ablation(b *testing.B) { benchExperiment(b, "fig8") }
+
+// --- Kernel micro-benchmarks -------------------------------------------
+
+// benchLayer builds the shared 64x576 (64 out-channels, 64·3·3 reduction)
+// quantized layer used by the executor comparison.
+func benchLayer(b *testing.B) (*quant.Quantized, []float32) {
+	b.Helper()
+	r := tensor.NewRNG(1)
+	w := tensor.New(64, 576)
+	tensor.FillGaussian(w, r, tensor.KaimingStd(576))
+	q := quant.Quantize(w, 4, quant.PerTensor)
+	x := make([]float32, 576)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	return q, x
+}
+
+// BenchmarkExecDenseMatVec is the dense CPU baseline of the executor
+// comparison: a 64x576 GEMV.
+func BenchmarkExecDenseMatVec(b *testing.B) {
+	q, x := benchLayer(b)
+	deq := q.Dequantize()
+	y := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatVec(deq.Data(), x, y, 64, 576)
+	}
+}
+
+// BenchmarkExecCSRMatVec measures the CSR executor on the same weights.
+func BenchmarkExecCSRMatVec(b *testing.B) {
+	q, x := benchLayer(b)
+	c := baseline.NewCSRFromQuantized(q)
+	y := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MatVec(x, y)
+	}
+}
+
+// BenchmarkExecFactorizedMatVec measures the UCNN-style executor.
+func BenchmarkExecFactorizedMatVec(b *testing.B) {
+	q, x := benchLayer(b)
+	f := baseline.NewFactorized(q)
+	y := make([]float32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MatVec(x, y)
+	}
+}
+
+// BenchmarkExecIPEMatVec measures the index-pair encoded executor — the
+// real-CPU counterpart of the modeled speedups.
+func BenchmarkExecIPEMatVec(b *testing.B) {
+	q, x := benchLayer(b)
+	prog, _, err := ipe.Encode(q, ipe.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]float32, 64)
+	scratch := make([]float32, prog.NumSymbols())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.ExecuteScratch(x, y, scratch)
+	}
+}
+
+// BenchmarkEncodeMidLayer measures encoder throughput on a 128x1152 layer.
+func BenchmarkEncodeMidLayer(b *testing.B) {
+	r := tensor.NewRNG(2)
+	w := tensor.New(128, 1152)
+	tensor.FillGaussian(w, r, tensor.KaimingStd(1152))
+	q := quant.Quantize(w, 4, quant.PerTensor)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ipe.Encode(q, ipe.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGemm measures the blocked GEMM on 128^3.
+func BenchmarkGemm(b *testing.B) {
+	r := tensor.NewRNG(3)
+	const n = 128
+	a := make([]float32, n*n)
+	bb := make([]float32, n*n)
+	c := make([]float32, n*n)
+	for i := range a {
+		a[i] = float32(r.NormFloat64())
+		bb[i] = float32(r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(a, bb, c, n, n, n)
+	}
+}
+
+// BenchmarkConvIm2col measures the im2col convolution path on a ResNet
+// stage-2 shape.
+func BenchmarkConvIm2col(b *testing.B) {
+	r := tensor.NewRNG(4)
+	spec := tensor.ConvSpec{InC: 64, OutC: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := tensor.New(spec.WeightShape()...)
+	tensor.FillGaussian(w, r, 0.1)
+	in := tensor.New(1, 64, 16, 16)
+	tensor.FillGaussian(in, r, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DIm2col(in, w, nil, spec)
+	}
+}
+
+// BenchmarkAccelSimulateTiles measures the event simulator on a 4096-tile
+// pipeline.
+func BenchmarkAccelSimulateTiles(b *testing.B) {
+	c := accel.Default()
+	p := accel.KernelProfile{Adds: 1 << 24, Muls: 1 << 24, DRAMBytes: 1 << 26, SRAMAccesses: 1 << 25}
+	tiles := accel.SplitTiles(p, 4096, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SimulateTiles("bench", tiles)
+	}
+}
+
+// BenchmarkTunerGenetic measures the genetic tuner on a real schedule
+// space (120 evaluations).
+func BenchmarkTunerGenetic(b *testing.B) {
+	wl := schedule.Workload{
+		Spec: tensor.ConvSpec{InC: 64, OutC: 64, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		N:    1, H: 16, W: 16,
+	}
+	sp := schedule.NewSpace(wl, accel.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		autotune.Genetic{}.Tune(sp, 120, uint64(i))
+	}
+}
+
+// BenchmarkPlanMemoryResNet measures the arena planner on ResNet-18.
+func BenchmarkPlanMemoryResNet(b *testing.B) {
+	g := nn.ResNet18(1, 32, 10, 1)
+	if err := graph.Optimize(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runtime.PlanMemory(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileLeNetAuto measures full compilation (all candidates,
+// auto selection) of LeNet-5.
+func BenchmarkCompileLeNetAuto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := nn.LeNet5(1, 1)
+		if _, err := runtime.Compile(g, runtime.Options{Bits: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Storage regenerates Table 5 (weight storage comparison).
+func BenchmarkTable5Storage(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6Sharing regenerates Table 6 (cross-layer dictionary
+// sharing).
+func BenchmarkTable6Sharing(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkFig9Banks regenerates Fig 9 (bank-conflict sensitivity).
+func BenchmarkFig9Banks(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Hardware regenerates Fig 10 (hardware sensitivity).
+func BenchmarkFig10Hardware(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11Distributions regenerates Fig 11 (distribution
+// sensitivity).
+func BenchmarkFig11Distributions(b *testing.B) { benchExperiment(b, "fig11") }

@@ -1,0 +1,57 @@
+// Command inspire-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	inspire-bench -exp all            # every table and figure
+//	inspire-bench -exp table2         # one experiment
+//	inspire-bench -exp fig5 -hw 224   # paper-scale input size
+//	inspire-bench -exp all -fast      # trimmed quick run
+//
+// Experiment ids: table1..table4, fig4, fig5, fig6a, fig6b, fig6c, fig7,
+// fig8 (see DESIGN.md §4 for what each reproduces).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/ipe"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	hw := flag.Int("hw", 0, "model input spatial size (default 64; 224 = paper scale)")
+	bits := flag.Int("bits", 4, "weight quantization bit-width")
+	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	fast := flag.Bool("fast", false, "trimmed layer/model sets for a quick run")
+	dict := flag.Int("dict", 4096, "IPE dictionary budget (0 = unlimited)")
+	depth := flag.Int("depth", 8, "IPE merge depth bound (0 = unlimited)")
+	tile := flag.Int("tile", 256, "IPE tile-local constraint (0 = global)")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Out:  os.Stdout,
+		HW:   *hw,
+		Bits: *bits,
+		Seed: *seed,
+		Fast: *fast,
+		CSV:  *csv,
+		IPE:  ipe.Config{MaxDict: *dict, MaxDepth: *depth, TileSize: *tile},
+	}
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(cfg)
+	} else {
+		err = experiments.Run(*exp, cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspire-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stdout, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,93 @@
+// Command inspire-tune searches the tiling-schedule space of one
+// convolution workload on the simulated accelerator and prints the
+// convergence trace and the best schedule found.
+//
+// Usage:
+//
+//	inspire-tune -oc 64 -ic 64 -hw 32 -tuner genetic -budget 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/autotune"
+	"repro/internal/report"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+func main() {
+	oc := flag.Int("oc", 64, "output channels")
+	ic := flag.Int("ic", 64, "input channels")
+	k := flag.Int("k", 3, "kernel size")
+	stride := flag.Int("stride", 1, "stride")
+	hw := flag.Int("hw", 32, "input spatial size")
+	tuner := flag.String("tuner", "genetic", "tuner: random | genetic | annealing | surrogate | exhaustive")
+	budget := flag.Int("budget", 200, "evaluation budget")
+	seed := flag.Uint64("seed", 1, "tuner RNG seed")
+	trace := flag.Bool("trace", false, "print the best schedule's pipeline timeline")
+	flag.Parse()
+
+	wl := schedule.Workload{
+		Spec: tensor.ConvSpec{InC: *ic, OutC: *oc, KH: *k, KW: *k,
+			StrideH: *stride, StrideW: *stride, PadH: *k / 2, PadW: *k / 2},
+		N: 1, H: *hw, W: *hw,
+	}
+	hwCfg := accel.Default()
+	sp := schedule.NewSpace(wl, hwCfg)
+
+	var tn autotune.Tuner
+	switch *tuner {
+	case "random":
+		tn = autotune.Random{}
+	case "genetic":
+		tn = autotune.Genetic{}
+	case "annealing":
+		tn = autotune.Annealing{}
+	case "surrogate":
+		tn = autotune.Surrogate{}
+	case "exhaustive":
+		tn = autotune.Exhaustive{}
+	default:
+		fmt.Fprintf(os.Stderr, "inspire-tune: unknown tuner %q\n", *tuner)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %s\nspace: %d points, dims %v\n", wl.Key(), sp.Size(), sp.Dims())
+	res := tn.Tune(sp, *budget, *seed)
+	if res.BestIdx == nil {
+		fmt.Fprintln(os.Stderr, "inspire-tune: no legal schedule found")
+		os.Exit(1)
+	}
+
+	t := report.NewTable("convergence", "trial", "best-cycles")
+	last := math.Inf(1)
+	for _, tr := range res.Trials {
+		if tr.Best < last {
+			t.AddRow(fmt.Sprint(tr.Index+1), report.Num(tr.Best))
+			last = tr.Best
+		}
+	}
+	t.Fprint(os.Stdout)
+
+	best := sp.At(res.BestIdx)
+	simRes, err := best.Simulate(wl, hwCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspire-tune: best schedule failed to simulate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbest schedule: %s\ncycles: %d (%.1f us), stalls: %d, energy: %.2f uJ\n",
+		best, simRes.Cycles, simRes.Microseconds(hwCfg), simRes.StallCycles, simRes.EnergyPJ/1e6)
+
+	if *trace {
+		eff := hwCfg
+		tiles := best.Tiles(wl)
+		_, traces := eff.SimulateTilesTrace(wl.Key(), tiles, 24)
+		fmt.Println()
+		accel.PrintTimeline(os.Stdout, traces, 100)
+	}
+}

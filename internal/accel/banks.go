@@ -1,0 +1,73 @@
+package accel
+
+import "repro/internal/ipe"
+
+// Scratchpad bank-conflict analysis for gather-style kernels. The IPE
+// decode stage issues, per cycle, one pair of operand reads per lane; the
+// scratchpad is word-interleaved across banks (bank = address mod B), and
+// simultaneous reads to the same bank serialize. This file measures — not
+// estimates — the serialization of a concrete access stream, so the
+// encoder ablations can show what the tile constraint does to bank
+// behaviour.
+
+// GatherStats summarizes the bank behaviour of one access stream.
+type GatherStats struct {
+	// Waves is the number of issue groups (ceil(len(addrs)/lanes)).
+	Waves int64
+	// Cycles is the serialized cycle count: per wave, the maximum number
+	// of accesses landing in one bank.
+	Cycles int64
+	// Conflicts is Cycles − Waves: extra cycles lost to bank conflicts.
+	Conflicts int64
+}
+
+// ConflictFactor returns Cycles/Waves (1.0 = conflict-free).
+func (g GatherStats) ConflictFactor() float64 {
+	if g.Waves == 0 {
+		return 1
+	}
+	return float64(g.Cycles) / float64(g.Waves)
+}
+
+// SimulateGather replays an address stream against a word-interleaved
+// scratchpad: lanes addresses issue per wave, each wave costs the maximum
+// per-bank access count. banks and lanes must be positive.
+func SimulateGather(addrs []int32, lanes, banks int) GatherStats {
+	if lanes <= 0 || banks <= 0 {
+		panic("accel: SimulateGather needs positive lanes and banks")
+	}
+	var st GatherStats
+	loads := make([]int32, banks)
+	for start := 0; start < len(addrs); start += lanes {
+		end := min(start+lanes, len(addrs))
+		for i := range loads {
+			loads[i] = 0
+		}
+		var worst int32 = 1
+		for _, a := range addrs[start:end] {
+			b := int(a) % banks
+			if b < 0 {
+				b += banks
+			}
+			loads[b]++
+			if loads[b] > worst {
+				worst = loads[b]
+			}
+		}
+		st.Waves++
+		st.Cycles += int64(worst)
+	}
+	st.Conflicts = st.Cycles - st.Waves
+	return st
+}
+
+// PairAddressStream flattens a pair dictionary into the operand address
+// stream its decode stage issues: A then B of each entry, in dependency
+// order. Addresses are the scratchpad word indices (symbol ids).
+func PairAddressStream(pairs []ipe.Pair) []int32 {
+	out := make([]int32, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out, p.A, p.B)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package accel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TileTrace records one tile's timing in the double-buffered pipeline.
+type TileTrace struct {
+	// LoadStart/LoadEnd bracket the tile's DMA-in.
+	LoadStart, LoadEnd int64
+	// ComputeStart/ComputeEnd bracket its PE-array execution.
+	ComputeStart, ComputeEnd int64
+	// StoreEnd is when its DMA-out drains (0 if the tile stores nothing).
+	StoreEnd int64
+	// Stall is the PE idle time this tile induced.
+	Stall int64
+}
+
+// SimulateTilesTrace is SimulateTiles with a per-tile timeline, for
+// pipeline visualization (`inspire-tune -trace`). Semantics are identical;
+// the trace is capped at maxTrace tiles to bound memory.
+func (c Config) SimulateTilesTrace(name string, tiles []Tile, maxTrace int) (Result, []TileTrace) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if len(tiles) == 0 {
+		return Result{}, nil
+	}
+	bpc := c.BytesPerCycle()
+	xfer := func(bytes int64) int64 {
+		if bytes == 0 {
+			return 0
+		}
+		return c.DRAMLatencyCycles + int64(float64(bytes)/bpc)
+	}
+	var now, computeDone int64
+	var res Result
+	var totalAdds, totalMuls, totalSRAM, totalDRAM int64
+	var traces []TileTrace
+	for _, t := range tiles {
+		tr := TileTrace{LoadStart: now}
+		loadDone := now + xfer(t.LoadBytes)
+		tr.LoadEnd = loadDone
+		start := loadDone
+		if computeDone > start {
+			start = computeDone
+		}
+		compute := ceilDiv(t.Ops(), int64(c.PEs))
+		stall := start - computeDone
+		if computeDone == 0 {
+			stall = 0
+		}
+		tr.ComputeStart = start
+		tr.Stall = stall
+		computeDone = start + compute
+		tr.ComputeEnd = computeDone
+		res.ComputeCycles += compute
+		res.StallCycles += stall
+		now = loadDone + xfer(t.StoreBytes)
+		if t.StoreBytes > 0 {
+			tr.StoreEnd = now
+		}
+		totalAdds += t.Adds
+		totalMuls += t.Muls
+		if t.SRAMAccesses > 0 {
+			totalSRAM += t.SRAMAccesses
+		} else {
+			totalSRAM += 2 * t.Ops()
+		}
+		totalDRAM += t.LoadBytes + t.StoreBytes
+		if len(traces) < maxTrace {
+			traces = append(traces, tr)
+		}
+	}
+	res.Cycles = computeDone
+	if now > res.Cycles {
+		res.Cycles = now
+	}
+	res.MemCycles = res.Cycles - res.ComputeCycles
+	if res.MemCycles < 0 {
+		res.MemCycles = 0
+	}
+	res.DRAMBytes = totalDRAM
+	res.EnergyPJ = c.energy(KernelProfile{Name: name, Adds: totalAdds, Muls: totalMuls, SRAMAccesses: totalSRAM}, totalDRAM)
+	return res, traces
+}
+
+// PrintTimeline renders a compact text Gantt of the traced tiles: one row
+// per tile, '░' for the load phase, '█' for compute, '·' for stall,
+// scaled to width columns.
+func PrintTimeline(w io.Writer, traces []TileTrace, width int) {
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "(no tiles)")
+		return
+	}
+	if width < 10 {
+		width = 10
+	}
+	var span int64
+	for _, t := range traces {
+		if t.ComputeEnd > span {
+			span = t.ComputeEnd
+		}
+		if t.StoreEnd > span {
+			span = t.StoreEnd
+		}
+	}
+	if span == 0 {
+		span = 1
+	}
+	col := func(cycle int64) int {
+		c := int(cycle * int64(width) / span)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "pipeline timeline (%d tiles shown, %d cycles, ░ load  █ compute  · stall)\n", len(traces), span)
+	for i, t := range traces {
+		row := []rune(strings.Repeat(" ", width))
+		for c := col(t.LoadStart); c <= col(t.LoadEnd); c++ {
+			row[c] = '░'
+		}
+		if t.Stall > 0 {
+			for c := col(t.ComputeStart - t.Stall); c < col(t.ComputeStart); c++ {
+				row[c] = '·'
+			}
+		}
+		for c := col(t.ComputeStart); c <= col(t.ComputeEnd); c++ {
+			row[c] = '█'
+		}
+		fmt.Fprintf(w, "  t%-3d %s\n", i, string(row))
+	}
+}

@@ -1,0 +1,202 @@
+package autotune
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Surrogate is sequential model-based optimization in the AutoTVM style:
+// a regression cost model is fitted to all evaluated points, a large pool
+// of random candidates is ranked by predicted cost, and the most promising
+// ones are measured next (with ε-greedy exploration). The model is ridge
+// regression over per-dimension linear and quadratic features — tiny, but
+// the same loop structure as XGBoost-ranked tuning.
+type Surrogate struct {
+	// InitPoints is the number of random measurements before the first
+	// model fit (default 16).
+	InitPoints int
+	// BatchSize is the number of points measured per model refresh
+	// (default 8).
+	BatchSize int
+	// PoolSize is the number of random candidates ranked per refresh
+	// (default 256).
+	PoolSize int
+	// Epsilon is the fraction of each batch drawn at random for
+	// exploration (default 0.2).
+	Epsilon float64
+	// Lambda is the ridge regularizer (default 1e-3).
+	Lambda float64
+}
+
+// Name implements Tuner.
+func (Surrogate) Name() string { return "surrogate" }
+
+func (s Surrogate) defaults() Surrogate {
+	if s.InitPoints <= 0 {
+		s.InitPoints = 16
+	}
+	if s.BatchSize <= 0 {
+		s.BatchSize = 8
+	}
+	if s.PoolSize <= 0 {
+		s.PoolSize = 256
+	}
+	if s.Epsilon <= 0 {
+		s.Epsilon = 0.2
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 1e-3
+	}
+	return s
+}
+
+// features maps an index vector to [1, x_d, x_d^2 ...] with x normalized
+// to [0, 1] per dimension.
+func features(idx []int, dims []int) []float64 {
+	f := make([]float64, 1+2*len(dims))
+	f[0] = 1
+	for d := range dims {
+		x := 0.0
+		if dims[d] > 1 {
+			x = float64(idx[d]) / float64(dims[d]-1)
+		}
+		f[1+2*d] = x
+		f[2+2*d] = x * x
+	}
+	return f
+}
+
+// ridgeFit solves (XᵀX + λI)w = Xᵀy by Gaussian elimination with partial
+// pivoting. Feature counts are tiny (≈ a dozen), so O(n³) is free.
+func ridgeFit(xs [][]float64, ys []float64, lambda float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	n := len(xs[0])
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		a[i][i] = lambda
+	}
+	for r, x := range xs {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			a[i][n] += x[i] * ys[r]
+		}
+	}
+	// Elimination.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			continue
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j <= n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		if math.Abs(a[i][i]) < 1e-12 {
+			continue
+		}
+		s := a[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * w[j]
+		}
+		w[i] = s / a[i][i]
+	}
+	return w
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Tune implements Tuner.
+func (s Surrogate) Tune(sp Space, budget int, seed uint64) Result {
+	s = s.defaults()
+	rng := tensor.NewRNG(seed)
+	rec := newRecorder()
+	dims := sp.Dims()
+
+	key := func(idx []int) string {
+		b := make([]byte, 0, len(idx)*2)
+		for _, v := range idx {
+			b = append(b, byte(v), byte(v>>8))
+		}
+		return string(b)
+	}
+	seen := map[string]bool{}
+	var xs [][]float64
+	var ys []float64
+
+	measure := func(idx []int) {
+		seen[key(idx)] = true
+		cost, legal := rec.record(sp, idx)
+		if legal && cost > 0 {
+			xs = append(xs, features(idx, dims))
+			ys = append(ys, math.Log(cost))
+		}
+	}
+
+	for i := 0; i < s.InitPoints && rec.spent() < budget; i++ {
+		measure(randomPoint(rng, dims))
+	}
+	for rec.spent() < budget {
+		w := ridgeFit(xs, ys, s.Lambda)
+		type cand struct {
+			idx  []int
+			pred float64
+		}
+		pool := make([]cand, 0, s.PoolSize)
+		for i := 0; i < s.PoolSize; i++ {
+			p := randomPoint(rng, dims)
+			if seen[key(p)] {
+				continue
+			}
+			pred := 0.0
+			if w != nil {
+				pred = dot(w, features(p, dims))
+			}
+			pool = append(pool, cand{p, pred})
+		}
+		if len(pool) == 0 {
+			// Space exhausted of unseen random candidates; finish with
+			// pure random measurements.
+			measure(randomPoint(rng, dims))
+			continue
+		}
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].pred < pool[j].pred })
+		batch := min(s.BatchSize, budget-rec.spent())
+		for i := 0; i < batch && len(pool) > 0; i++ {
+			var pick cand
+			if rng.Float64() < s.Epsilon {
+				j := rng.Intn(len(pool))
+				pick = pool[j]
+				pool = append(pool[:j], pool[j+1:]...)
+			} else {
+				pick = pool[0]
+				pool = pool[1:]
+			}
+			measure(pick.idx)
+		}
+	}
+	return rec.res
+}

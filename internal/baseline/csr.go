@@ -1,0 +1,169 @@
+// Package baseline implements the comparison points of the evaluation:
+// CSR sparse execution (wins only on zero weights) and UCNN-style
+// value-factorized execution (one multiply per distinct weight value, but
+// no index-pair merging). The delta between the factorized baseline and
+// internal/ipe is the paper's contribution.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/ipe"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row matrix over float32 values.
+type CSR struct {
+	M, K   int
+	RowPtr []int32 // length M+1
+	Col    []int32 // length nnz
+	Val    []float32
+}
+
+// NewCSR compresses a dense [m, k] matrix, dropping exact zeros.
+func NewCSR(w *tensor.Tensor) *CSR {
+	if w.Shape().Rank() != 2 {
+		panic(fmt.Sprintf("baseline: NewCSR wants [m,k], got %v", w.Shape()))
+	}
+	m, k := w.Dim(0), w.Dim(1)
+	c := &CSR{M: m, K: k, RowPtr: make([]int32, m+1)}
+	d := w.Data()
+	for r := 0; r < m; r++ {
+		for i := 0; i < k; i++ {
+			if v := d[r*k+i]; v != 0 {
+				c.Col = append(c.Col, int32(i))
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[r+1] = int32(len(c.Col))
+	}
+	return c
+}
+
+// NewCSRFromQuantized compresses the dequantized values of q, dropping
+// zero codes, so the CSR baseline competes on the same quantized weights
+// the encoded kernels use.
+func NewCSRFromQuantized(q *quant.Quantized) *CSR {
+	return NewCSR(q.Dequantize().Reshape(q.Shape[0], q.NumElements()/q.Shape[0]))
+}
+
+// NNZ returns the stored nonzero count.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// Density returns nnz/(m·k).
+func (c *CSR) Density() float64 {
+	if c.M*c.K == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / float64(c.M*c.K)
+}
+
+// MatVec computes y = A·x.
+func (c *CSR) MatVec(x, y []float32) {
+	if len(x) < c.K || len(y) < c.M {
+		panic("baseline: CSR MatVec buffers too small")
+	}
+	for r := 0; r < c.M; r++ {
+		var acc float32
+		for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
+			acc += c.Val[i] * x[c.Col[i]]
+		}
+		y[r] = acc
+	}
+}
+
+// MatMat computes A·B for a dense [K, P] matrix B, returning [M, P].
+func (c *CSR) MatMat(b *tensor.Tensor) *tensor.Tensor {
+	if b.Shape().Rank() != 2 || b.Dim(0) != c.K {
+		panic(fmt.Sprintf("baseline: CSR MatMat wants [K=%d, P], got %v", c.K, b.Shape()))
+	}
+	p := b.Dim(1)
+	out := tensor.New(c.M, p)
+	bd, od := b.Data(), out.Data()
+	for r := 0; r < c.M; r++ {
+		dst := od[r*p : (r+1)*p]
+		for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
+			v := c.Val[i]
+			src := bd[int(c.Col[i])*p : int(c.Col[i])*p+p]
+			for j := range src {
+				dst[j] += v * src[j]
+			}
+		}
+	}
+	return out
+}
+
+// Cost returns the arithmetic cost of one MatVec.
+func (c *CSR) Cost() ipe.Cost { return ipe.SparseCost(int64(c.NNZ())) }
+
+// ConvCSR is a convolution layer executed with per-group CSR weights over
+// im2col columns.
+type ConvCSR struct {
+	Spec  tensor.ConvSpec
+	Mats  []*CSR // one per group
+	Bias  *tensor.Tensor
+	Quant *quant.Quantized
+}
+
+// NewConvCSR quantizes the OIHW weights and builds the per-group CSR
+// matrices.
+func NewConvCSR(w, bias *tensor.Tensor, spec tensor.ConvSpec, bits int, scheme quant.Scheme) (*ConvCSR, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !w.Shape().Equal(spec.WeightShape()) {
+		return nil, fmt.Errorf("baseline: weight shape %v != expected %v", w.Shape(), spec.WeightShape())
+	}
+	q := quant.Quantize(w, bits, scheme)
+	deq := q.Dequantize()
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	kSize := icg * spec.KH * spec.KW
+	l := &ConvCSR{Spec: spec, Bias: bias, Quant: q}
+	dd := deq.Data()
+	for g := 0; g < spec.Groups; g++ {
+		sub := tensor.From(dd[g*ocg*kSize:(g+1)*ocg*kSize], ocg, kSize)
+		l.Mats = append(l.Mats, NewCSR(sub))
+	}
+	return l, nil
+}
+
+// Forward runs the sparse convolution on an NCHW input.
+func (l *ConvCSR) Forward(in *tensor.Tensor) *tensor.Tensor {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	ocg := spec.OutC / spec.Groups
+	out := tensor.New(n, spec.OutC, oh, ow)
+	od := out.Data()
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			col := tensor.Im2colGroup(in, b, g, spec)
+			res := l.Mats[g].MatMat(col)
+			rd := res.Data()
+			for oc := 0; oc < ocg; oc++ {
+				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
+				var bv float32
+				if l.Bias != nil {
+					bv = l.Bias.Data()[g*ocg+oc]
+				}
+				src := rd[oc*oh*ow : (oc+1)*oh*ow]
+				for i, v := range src {
+					dst[i] = v + bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NNZ returns the total stored nonzeros across groups.
+func (l *ConvCSR) NNZ() int64 {
+	var n int64
+	for _, m := range l.Mats {
+		n += int64(m.NNZ())
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ipe"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Factorized is the UCNN-style value-factorized executor: each output row
+// is Σ_v v·Σ_{i∈S(v)} x[i] with the index sets summed raw — exactly what
+// index-pair encoding starts from, with no pair merging. It is the ablation
+// that isolates the contribution of the pair dictionary.
+type Factorized struct {
+	M, K int
+	Rows []FRow
+}
+
+// FRow is one output row's value groups.
+type FRow struct {
+	Terms []FTerm
+}
+
+// FTerm is one value group: coefficient Value applied to the sum of x at
+// Idx.
+type FTerm struct {
+	Code  int32
+	Value float32
+	Idx   []int32
+}
+
+// NewFactorized builds the factorized form of a quantized weight matrix
+// (dimension 0 = rows, rest flattened).
+func NewFactorized(q *quant.Quantized) *Factorized {
+	m := q.Shape[0]
+	k := q.NumElements() / m
+	f := &Factorized{M: m, K: k, Rows: make([]FRow, m)}
+	scale := func(row int) float32 {
+		if q.Scheme == quant.PerChannel && len(q.Params) > row {
+			return q.Params[row].Scale
+		}
+		return q.Params[0].Scale
+	}
+	for r := 0; r < m; r++ {
+		groups := make(map[int32][]int32)
+		for i := 0; i < k; i++ {
+			if c := q.Codes[r*k+i]; c != 0 {
+				groups[c] = append(groups[c], int32(i))
+			}
+		}
+		codes := make([]int32, 0, len(groups))
+		for c := range groups {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+		for _, c := range codes {
+			f.Rows[r].Terms = append(f.Rows[r].Terms, FTerm{
+				Code: c, Value: float32(c) * scale(r), Idx: groups[c],
+			})
+		}
+	}
+	return f
+}
+
+// MatVec computes y = W_deq·x through the factorized form.
+func (f *Factorized) MatVec(x, y []float32) {
+	if len(x) < f.K || len(y) < f.M {
+		panic("baseline: Factorized MatVec buffers too small")
+	}
+	for r := range f.Rows {
+		var acc float32
+		for _, t := range f.Rows[r].Terms {
+			var g float32
+			for _, i := range t.Idx {
+				g += x[i]
+			}
+			acc += t.Value * g
+		}
+		y[r] = acc
+	}
+}
+
+// MatMat applies the factorized matrix to a dense [K, P] matrix.
+func (f *Factorized) MatMat(b *tensor.Tensor) *tensor.Tensor {
+	if b.Shape().Rank() != 2 || b.Dim(0) != f.K {
+		panic(fmt.Sprintf("baseline: Factorized MatMat wants [K=%d, P], got %v", f.K, b.Shape()))
+	}
+	p := b.Dim(1)
+	out := tensor.New(f.M, p)
+	bd, od := b.Data(), out.Data()
+	group := make([]float32, p)
+	for r := range f.Rows {
+		dst := od[r*p : (r+1)*p]
+		for _, t := range f.Rows[r].Terms {
+			for j := range group {
+				group[j] = 0
+			}
+			for _, i := range t.Idx {
+				src := bd[int(i)*p : int(i)*p+p]
+				for j := range src {
+					group[j] += src[j]
+				}
+			}
+			for j := range dst {
+				dst[j] += t.Value * group[j]
+			}
+		}
+	}
+	return out
+}
+
+// Cost returns the arithmetic cost of one MatVec.
+func (f *Factorized) Cost() ipe.Cost {
+	nnz := make([]int, f.M)
+	terms := make([]int, f.M)
+	for r, row := range f.Rows {
+		terms[r] = len(row.Terms)
+		for _, t := range row.Terms {
+			nnz[r] += len(t.Idx)
+		}
+	}
+	return ipe.FactorizedCost(nnz, terms)
+}
+
+// StreamSymbols returns the total index-stream length (for traffic models).
+func (f *Factorized) StreamSymbols() int64 {
+	var n int64
+	for _, row := range f.Rows {
+		for _, t := range row.Terms {
+			n += int64(len(t.Idx))
+		}
+	}
+	return n
+}
+
+// ConvFactorized is a convolution layer executed with per-group factorized
+// weights over im2col columns.
+type ConvFactorized struct {
+	Spec  tensor.ConvSpec
+	Mats  []*Factorized
+	Bias  *tensor.Tensor
+	Quant *quant.Quantized
+}
+
+// NewConvFactorized quantizes the OIHW weights and builds per-group
+// factorized executors.
+func NewConvFactorized(w, bias *tensor.Tensor, spec tensor.ConvSpec, bits int, scheme quant.Scheme) (*ConvFactorized, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !w.Shape().Equal(spec.WeightShape()) {
+		return nil, fmt.Errorf("baseline: weight shape %v != expected %v", w.Shape(), spec.WeightShape())
+	}
+	q := quant.Quantize(w, bits, scheme)
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	kSize := icg * spec.KH * spec.KW
+	l := &ConvFactorized{Spec: spec, Bias: bias, Quant: q}
+	for g := 0; g < spec.Groups; g++ {
+		gq := &quant.Quantized{
+			Codes:  q.Codes[g*ocg*kSize : (g+1)*ocg*kSize],
+			Shape:  tensor.Shape{ocg, kSize},
+			Bits:   q.Bits,
+			Scheme: q.Scheme,
+		}
+		if q.Scheme == quant.PerChannel {
+			gq.Params = q.Params[g*ocg : (g+1)*ocg]
+		} else {
+			gq.Params = q.Params
+		}
+		l.Mats = append(l.Mats, NewFactorized(gq))
+	}
+	return l, nil
+}
+
+// Forward runs the factorized convolution on an NCHW input.
+func (l *ConvFactorized) Forward(in *tensor.Tensor) *tensor.Tensor {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	ocg := spec.OutC / spec.Groups
+	out := tensor.New(n, spec.OutC, oh, ow)
+	od := out.Data()
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			col := tensor.Im2colGroup(in, b, g, spec)
+			res := l.Mats[g].MatMat(col)
+			rd := res.Data()
+			for oc := 0; oc < ocg; oc++ {
+				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
+				var bv float32
+				if l.Bias != nil {
+					bv = l.Bias.Data()[g*ocg+oc]
+				}
+				src := rd[oc*oh*ow : (oc+1)*oh*ow]
+				for i, v := range src {
+					dst[i] = v + bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Cost aggregates the per-pixel arithmetic cost across groups.
+func (l *ConvFactorized) Cost() ipe.Cost {
+	var total ipe.Cost
+	for _, m := range l.Mats {
+		c := m.Cost()
+		total.Adds += c.Adds
+		total.Muls += c.Muls
+		total.StreamSymbols += c.StreamSymbols
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+// Package experiments contains one driver per table and figure of the
+// evaluation (see DESIGN.md §4). Each driver prints the same rows/series
+// the paper reports, using the synthetic workloads of internal/nn, the cost
+// models of internal/ipe, and the simulated accelerator of internal/accel.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/accel"
+	"repro/internal/ipe"
+	"repro/internal/report"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Out receives the printed tables/figures.
+	Out io.Writer
+	// HW is the model input spatial size (default 64; the paper-scale run
+	// uses 224). Weight-side statistics are independent of it.
+	HW int
+	// Bits is the main quantization bit-width (default 4).
+	Bits int
+	// Seed drives every RNG (default 1).
+	Seed uint64
+	// Accel is the simulated hardware (default accel.Default()).
+	Accel accel.Config
+	// IPE is the encoder configuration (default ipe.DefaultConfig()).
+	IPE ipe.Config
+	// Fast trims layer and model sets so the full suite finishes in
+	// seconds; used by tests and the default bench run.
+	Fast bool
+	// CSV switches output from aligned text to comma-separated values, for
+	// artifact-evaluation post-processing.
+	CSV bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.HW == 0 {
+		if c.Fast {
+			c.HW = 32
+		} else {
+			c.HW = 64
+		}
+	}
+	if c.Bits == 0 {
+		c.Bits = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Accel.PEs == 0 {
+		c.Accel = accel.Default()
+	}
+	if c.IPE == (ipe.Config{}) {
+		c.IPE = ipe.DefaultConfig()
+	}
+	return c
+}
+
+// emit renders a table in the configured format.
+func emit(cfg Config, t *report.Table) {
+	if cfg.CSV {
+		t.CSV(cfg.Out)
+		return
+	}
+	t.Fprint(cfg.Out)
+}
+
+// emitFig renders a figure in the configured format.
+func emitFig(cfg Config, f *report.Figure) {
+	if cfg.CSV {
+		f.CSV(cfg.Out)
+		return
+	}
+	f.Fprint(cfg.Out)
+}
+
+// Runner is one experiment driver.
+type Runner func(Config) error
+
+// Registry maps experiment ids ("table1".."table4", "fig4".."fig8") to
+// their drivers.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": Table1Workloads,
+		"table2": Table2Arithmetic,
+		"table3": Table3Encoding,
+		"table4": Table4Energy,
+		"table5": Table5Storage,
+		"table6": Table6Sharing,
+		"fig4":   Fig4PerLayer,
+		"fig5":   Fig5EndToEnd,
+		"fig6a":  Fig6aBits,
+		"fig6b":  Fig6bDict,
+		"fig6c":  Fig6cSparsity,
+		"fig7":   Fig7Tuning,
+		"fig8":   Fig8Ablation,
+		"fig9":   Fig9Banks,
+		"fig10":  Fig10Hardware,
+		"fig11":  Fig11Distributions,
+	}
+}
+
+// IDs returns the registry keys in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) error {
+	r, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(cfg Config) error {
+	for _, id := range IDs() {
+		fmt.Fprintf(cfg.withDefaults().Out, "\n===== %s =====\n", id)
+		if err := Run(id, cfg); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+	}
+	return nil
+}

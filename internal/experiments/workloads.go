@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// UniqueConv is one computationally-distinct convolution of a model: the
+// evaluation groups convolutions with identical input/output shape, kernel,
+// stride and padding (the c1..cN grouping of per-layer figures).
+type UniqueConv struct {
+	// ID is the group label: "c1", "c2", ...
+	ID string
+	// Info is a representative layer of the group.
+	Info nn.ConvLayerInfo
+	// Count is how many layers share the shape.
+	Count int
+}
+
+// UniqueConvs extracts and groups the convolutions of a graph in
+// topological order. InferShapes must have run.
+func UniqueConvs(g *graph.Graph) []UniqueConv {
+	type key struct {
+		spec    tensor.ConvSpec
+		n, h, w int
+	}
+	var out []UniqueConv
+	index := make(map[key]int)
+	for _, info := range nn.ConvLayers(g) {
+		k := key{info.Spec.Normalize(), info.Batch, info.InH, info.InW}
+		if i, ok := index[k]; ok {
+			out[i].Count++
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, UniqueConv{
+			ID:    fmt.Sprintf("c%d", len(out)+1),
+			Info:  info,
+			Count: 1,
+		})
+	}
+	return out
+}
+
+// resnetUniqueConvs builds ResNet-18 at the config's input size and returns
+// its unique convolutions (trimmed in Fast mode).
+func resnetUniqueConvs(cfg Config) ([]UniqueConv, error) {
+	g := nn.ResNet18(1, cfg.HW, 10, cfg.Seed)
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	convs := UniqueConvs(g)
+	if cfg.Fast && len(convs) > 6 {
+		convs = convs[:6]
+	}
+	return convs, nil
+}
+
+// pruneAndQuantize clones the weight, applies magnitude pruning at the
+// given sparsity, and quantizes it.
+func pruneAndQuantize(w *tensor.Tensor, sparsity float64, bits int, scheme quant.Scheme) *quant.Quantized {
+	wc := w.Clone()
+	if sparsity > 0 {
+		quant.PruneMagnitude(wc, sparsity)
+	}
+	return quant.Quantize(wc, bits, scheme)
+}
+
+// midLayer returns the mid-network ResNet-18-style layer used by the
+// sensitivity studies (conv3_x shape: 128→128, 3×3). In Fast mode the
+// channel counts shrink 4×.
+func midLayer(cfg Config) (tensor.ConvSpec, *tensor.Tensor, int, int) {
+	c := 128
+	hw := cfg.HW / 8
+	if cfg.Fast {
+		c = 32
+	}
+	if hw < 4 {
+		hw = 4
+	}
+	spec := tensor.ConvSpec{InC: c, OutC: c, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	r := tensor.NewRNG(cfg.Seed + 100)
+	w := tensor.New(spec.WeightShape()...)
+	tensor.FillGaussian(w, r, tensor.KaimingStd(c*9))
+	return spec, w, hw, hw
+}
+
+// zooModels returns the evaluation model set, trimmed in Fast mode.
+func zooModels(cfg Config) []nn.Model {
+	zoo := nn.Zoo(cfg.HW)
+	if cfg.Fast {
+		return zoo[:2] // LeNet-5, ResNet-18
+	}
+	return zoo
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT syntax for visualization:
+// one box per node labeled with its name, kind and inferred shape, edges
+// following dataflow. Only nodes reachable from the output are emitted.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph model {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	order := g.Topo()
+	for _, n := range order {
+		label := fmt.Sprintf("%s\\n%s", n.Name, n.Kind)
+		if n.OutShape.Valid() {
+			label += fmt.Sprintf("\\n%v", n.OutShape)
+		}
+		if n.Attrs.FusedReLU {
+			label += "\\n+ReLU"
+		}
+		style := ""
+		switch n.Kind {
+		case OpInput:
+			style = ", style=filled, fillcolor=lightblue"
+		case OpConv, OpDense:
+			style = ", style=filled, fillcolor=lightyellow"
+		case OpConst:
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", n.ID, label, style)
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	if g.Out != nil {
+		fmt.Fprintf(&b, "  n%d [peripheries=2];\n", g.Out.ID)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// tinyConvGraph builds input → conv → bn → relu → softmax-ready flatten.
+func tinyConvGraph(seed uint64) (*Graph, *tensor.Tensor) {
+	r := tensor.NewRNG(seed)
+	g := New("in", 1, 3, 8, 8)
+	spec := tensor.ConvSpec{InC: 3, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := tensor.New(spec.WeightShape()...)
+	tensor.FillGaussian(w, r, 0.2)
+	b := tensor.New(4)
+	tensor.FillGaussian(b, r, 0.1)
+	c := g.Conv(g.In, "conv", spec, w, b)
+	gamma := tensor.New(4).Fill(1.2)
+	beta := tensor.New(4).Fill(0.1)
+	mean := tensor.New(4).Fill(0.05)
+	variance := tensor.New(4).Fill(0.9)
+	bn := g.BatchNorm(c, "bn", gamma, beta, mean, variance, 1e-5)
+	rl := g.ReLU(bn, "relu")
+	g.SetOutput(g.Flatten(rl, "flat"))
+	in := tensor.New(1, 3, 8, 8)
+	tensor.FillGaussian(in, r, 1)
+	return g, in
+}
+
+func TestInferShapes(t *testing.T) {
+	g, _ := tinyConvGraph(1)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Out.OutShape.Equal(tensor.Shape{1, 4 * 8 * 8}) {
+		t.Fatalf("output shape = %v", g.Out.OutShape)
+	}
+}
+
+func TestInferShapesRejectsChannelMismatch(t *testing.T) {
+	g := New("in", 1, 3, 8, 8)
+	spec := tensor.ConvSpec{InC: 5, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1}
+	w := tensor.New(spec.WeightShape()...)
+	g.SetOutput(g.Conv(g.In, "conv", spec, w, nil))
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("channel mismatch must be rejected")
+	}
+}
+
+func TestInferShapesRejectsAddMismatch(t *testing.T) {
+	g := New("in", 1, 2)
+	w1 := tensor.New(3, 2)
+	w2 := tensor.New(4, 2)
+	a := g.Dense(g.In, "a", w1, nil)
+	b := g.Dense(g.In, "b", w2, nil)
+	g.SetOutput(g.Add(a, b, "add"))
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("add shape mismatch must be rejected")
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	g, _ := tinyConvGraph(2)
+	pos := make(map[*Node]int)
+	for i, n := range g.Topo() {
+		pos[n] = i
+	}
+	for _, n := range g.Topo() {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n] {
+				t.Fatalf("%s appears before its input %s", n, in)
+			}
+		}
+	}
+}
+
+func TestTopoExcludesUnreachable(t *testing.T) {
+	g, _ := tinyConvGraph(3)
+	// Dangling node not connected to output.
+	g.ReLU(g.In, "dangling")
+	for _, n := range g.Topo() {
+		if n.Name == "dangling" {
+			t.Fatal("Topo must exclude nodes that do not reach the output")
+		}
+	}
+}
+
+func TestEvalRunsGraph(t *testing.T) {
+	g, in := tinyConvGraph(4)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(g.Out.OutShape) {
+		t.Fatalf("eval shape %v != inferred %v", out.Shape(), g.Out.OutShape)
+	}
+	// ReLU output must be non-negative.
+	for _, v := range out.Data() {
+		if v < 0 {
+			t.Fatal("post-ReLU output must be non-negative")
+		}
+	}
+}
+
+func TestEvalRejectsWrongInputShape(t *testing.T) {
+	g, _ := tinyConvGraph(5)
+	if _, err := Eval(g, tensor.New(1, 3, 4, 4)); err == nil {
+		t.Fatal("wrong input shape must be rejected")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g := New("in", 1, 2)
+	w := tensor.New(2, 2)
+	a := g.Dense(g.In, "a", w, nil)
+	b := g.Dense(g.In, "b", w, nil)
+	g.SetOutput(g.Add(a, b, "add"))
+	cons := g.Consumers()
+	if len(cons[g.In]) != 2 {
+		t.Fatalf("input should have 2 consumers, got %d", len(cons[g.In]))
+	}
+	if len(cons[a]) != 1 || cons[a][0].Name != "add" {
+		t.Fatal("a should feed add")
+	}
+}
+
+func TestNumParamsAndMACs(t *testing.T) {
+	g, _ := tinyConvGraph(6)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	// conv weight 4*3*3*3=108 + bias 4 + bn 4*4=16.
+	if got := g.NumParams(); got != 108+4+16 {
+		t.Fatalf("NumParams = %d, want 128", got)
+	}
+	// 8x8 same conv: 4*64 outputs × 27 taps.
+	if got := g.MACs(); got != 4*64*27 {
+		t.Fatalf("MACs = %d, want %d", got, 4*64*27)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpConv.String() != "Conv2D" || OpKind(99).String() != "OpKind(99)" {
+		t.Fatal("OpKind names wrong")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New("in", 1, 2)
+	a := g.ReLU(g.In, "a")
+	b := g.ReLU(a, "b")
+	a.Inputs[0] = b // create a cycle
+	g.SetOutput(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cycle")
+		}
+	}()
+	g.Topo()
+}
+
+func TestAllOpKindsBuildInferAndEval(t *testing.T) {
+	// One graph touching every operator kind, exercised end to end.
+	r := tensor.NewRNG(40)
+	g := New("in", 1, 4, 8, 8)
+	spec := tensor.ConvSpec{InC: 4, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := tensor.New(spec.WeightShape()...)
+	tensor.FillGaussian(w, r, 0.2)
+	conv := g.Conv(g.In, "conv", spec, w, nil)
+	ones, zeros := tensor.New(4).Fill(1), tensor.New(4)
+	bn := g.BatchNorm(conv, "bn", ones, zeros, zeros, ones, 1e-5)
+	rl := g.ReLU(bn, "relu")
+	mp := g.MaxPool(rl, "maxpool", PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2})
+	ap := g.AvgPool(rl, "avgpool", PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2})
+	cat := g.Concat("concat", mp, ap)
+	added := g.Add(mp, ap, "add")
+	cat2 := g.Concat("concat2", cat, added)
+	gap := g.GlobalAvgPool(cat2, "gap")
+	fl := g.Flatten(gap, "flatten")
+	wd := tensor.New(5, 12)
+	tensor.FillGaussian(wd, r, 0.3)
+	d := g.Dense(fl, "fc", wd, nil)
+	g.SetOutput(g.Softmax(d, "softmax"))
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Out.OutShape.Equal(tensor.Shape{1, 5}) {
+		t.Fatalf("final shape = %v", g.Out.OutShape)
+	}
+	in := tensor.New(1, 4, 8, 8)
+	tensor.FillGaussian(in, r, 1)
+	out, err := Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+}
+
+func TestInferShapeErrorBranches(t *testing.T) {
+	w4 := tensor.New(4, 8)
+	cases := []func(g *Graph) *Node{
+		// conv on rank-2 input
+		func(g *Graph) *Node {
+			return g.Conv(g.Dense(g.In, "d", w4, nil), "conv",
+				tensor.ConvSpec{InC: 1, OutC: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+				tensor.New(1, 1, 1, 1), nil)
+		},
+		// dense on rank-4 reshaped? feed dense with mismatched k
+		func(g *Graph) *Node {
+			return g.Dense(g.In, "d", tensor.New(3, 99), nil)
+		},
+		// pool with empty output
+		func(g *Graph) *Node {
+			return g.MaxPool(g.ReLU4(g), "p", PoolAttrs{KH: 99, KW: 99, StrideH: 1, StrideW: 1})
+		},
+		// softmax on rank-4
+		func(g *Graph) *Node {
+			return g.Softmax(g.ReLU4(g), "sm")
+		},
+		// conv producing empty output
+		func(g *Graph) *Node {
+			return g.Conv(g.ReLU4(g), "conv",
+				tensor.ConvSpec{InC: 4, OutC: 2, KH: 50, KW: 50, StrideH: 1, StrideW: 1},
+				tensor.New(2, 4, 50, 50), nil)
+		},
+	}
+	for i, build := range cases {
+		g := New("in", 1, 8) // rank-2 input for dense cases
+		if i != 1 {
+			g = New("in", 1, 4, 8, 8)
+		}
+		g.SetOutput(build(g))
+		if err := g.InferShapes(); err == nil {
+			t.Errorf("case %d: invalid graph accepted", i)
+		}
+	}
+}
+
+// ReLU4 is a test helper that returns a rank-4 intermediate.
+func (g *Graph) ReLU4(_ *Graph) *Node { return g.ReLU(g.In, "r4") }
+
+func TestPassNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range []Pass{EliminateDead{}, FoldConstants{}, FoldBatchNorm{}, FuseReLU{}, EliminateCommon{}} {
+		if p.Name() == "" || names[p.Name()] {
+			t.Fatalf("pass name %q empty or duplicated", p.Name())
+		}
+		names[p.Name()] = true
+	}
+}

@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func countKind(g *Graph, k OpKind) int {
+	n := 0
+	for _, node := range g.Topo() {
+		if node.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFoldBatchNormPreservesOutput(t *testing.T) {
+	g, in := tinyConvGraph(10)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := (FoldBatchNorm{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("bn-fold should fire on conv→bn")
+	}
+	if countKind(g, OpBatchNorm) != 0 {
+		t.Fatal("batch norm should be gone")
+	}
+	after, err := Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(after, before, 1e-4, 1e-4) {
+		t.Fatalf("bn-fold changed the output: max diff %v", tensor.MaxAbsDiff(after, before))
+	}
+}
+
+func TestFoldBatchNormSkipsSharedConv(t *testing.T) {
+	// The conv output feeds both a BN and another consumer: folding would
+	// corrupt the second consumer, so the pass must skip it.
+	r := tensor.NewRNG(11)
+	g := New("in", 1, 2, 4, 4)
+	spec := tensor.ConvSpec{InC: 2, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	w := tensor.New(spec.WeightShape()...)
+	tensor.FillGaussian(w, r, 1)
+	c := g.Conv(g.In, "conv", spec, w, nil)
+	ones, zeros := tensor.New(2).Fill(1), tensor.New(2)
+	bn := g.BatchNorm(c, "bn", ones, zeros, zeros, ones, 1e-5)
+	g.SetOutput(g.Add(bn, c, "add"))
+	changed, err := (FoldBatchNorm{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("bn-fold must not fire when the conv has other consumers")
+	}
+}
+
+func TestFuseReLU(t *testing.T) {
+	g, in := tinyConvGraph(12)
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	if countKind(g, OpReLU) != 0 {
+		t.Fatal("relu should be fused into the conv")
+	}
+	out, err := Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Data() {
+		if v < 0 {
+			t.Fatal("fused ReLU must still rectify")
+		}
+	}
+}
+
+func TestFuseReLUSkipsSharedProducer(t *testing.T) {
+	g := New("in", 1, 2)
+	w := tensor.New(2, 2).Fill(1)
+	d := g.Dense(g.In, "dense", w, nil)
+	rl := g.ReLU(d, "relu")
+	g.SetOutput(g.Add(rl, d, "add")) // d also consumed raw
+	changed, err := (FuseReLU{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("relu-fuse must not fire when the producer has other consumers")
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	g := New("in", 1, 4)
+	c1 := g.Const("c1", tensor.From([]float32{1, 2, 3, 4}, 1, 4))
+	c2 := g.Const("c2", tensor.From([]float32{10, 20, 30, 40}, 1, 4))
+	sum := g.Add(c1, c2, "sum")
+	g.SetOutput(g.Add(sum, g.In, "out"))
+	changed, err := (FoldConstants{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("const-fold should fire on const+const")
+	}
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Eval(g, tensor.New(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{11, 22, 33, 44}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("folded output = %v, want %v", out.Data(), want)
+		}
+	}
+	// The folded add must now be a constant input to the final add.
+	if g.Out.Inputs[0].Kind != OpConst {
+		t.Fatal("sum should have been replaced by a constant")
+	}
+}
+
+func TestEliminateDead(t *testing.T) {
+	g, _ := tinyConvGraph(13)
+	g.ReLU(g.In, "dead1")
+	g.ReLU(g.In, "dead2")
+	total := len(g.Nodes)
+	changed, err := (EliminateDead{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || len(g.Nodes) != total-2 {
+		t.Fatalf("dce should remove 2 nodes: had %d, now %d", total, len(g.Nodes))
+	}
+}
+
+func TestEliminateCommon(t *testing.T) {
+	g := New("in", 1, 2)
+	w := tensor.New(2, 2).Fill(1)
+	a := g.Dense(g.In, "a", w, nil)
+	b := g.Dense(g.In, "b", w, nil) // structurally identical to a
+	g.SetOutput(g.Add(a, b, "add"))
+	changed, err := (EliminateCommon{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("cse should merge identical dense nodes")
+	}
+	if g.Out.Inputs[0] != g.Out.Inputs[1] {
+		t.Fatal("add operands should be the same node after cse")
+	}
+}
+
+func TestCSEDistinguishesDifferentWeights(t *testing.T) {
+	g := New("in", 1, 2)
+	w1 := tensor.New(2, 2).Fill(1)
+	w2 := tensor.New(2, 2).Fill(2)
+	a := g.Dense(g.In, "a", w1, nil)
+	b := g.Dense(g.In, "b", w2, nil)
+	g.SetOutput(g.Add(a, b, "add"))
+	changed, err := (EliminateCommon{}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("cse must not merge nodes with different weights")
+	}
+}
+
+func TestOptimizePreservesOutputProperty(t *testing.T) {
+	// The whole pipeline must be semantics-preserving on random small
+	// conv/bn/relu/add graphs.
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		g := New("in", 1, 2, 6, 6)
+		spec := tensor.ConvSpec{InC: 2, OutC: 3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		w := tensor.New(spec.WeightShape()...)
+		tensor.FillGaussian(w, r, 0.3)
+		x := g.Conv(g.In, "conv", spec, w, nil)
+		if r.Intn(2) == 1 {
+			gamma, beta := tensor.New(3).Fill(1.1), tensor.New(3).Fill(0.2)
+			mean, variance := tensor.New(3).Fill(0.1), tensor.New(3).Fill(0.8)
+			x = g.BatchNorm(x, "bn", gamma, beta, mean, variance, 1e-5)
+		}
+		if r.Intn(2) == 1 {
+			x = g.ReLU(x, "relu")
+		}
+		g.SetOutput(g.Flatten(x, "flat"))
+		if err := g.InferShapes(); err != nil {
+			return false
+		}
+		in := tensor.New(1, 2, 6, 6)
+		tensor.FillGaussian(in, r, 1)
+		before, err := Eval(g, in)
+		if err != nil {
+			return false
+		}
+		if err := Optimize(g); err != nil {
+			return false
+		}
+		after, err := Eval(g, in)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(after, before, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	g, _ := tinyConvGraph(14)
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(g.Topo())
+	if err := Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Topo()) != n1 {
+		t.Fatal("second Optimize changed the graph")
+	}
+}

@@ -1,0 +1,344 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Binary model format ("IGM1"): the whole graph — topology, operator
+// attributes and parameter tensors — in one deterministic stream, so
+// compiled tools can save a model once and reload it byte-identically.
+// All integers little-endian.
+//
+//	magic    uint32 "IGM1"
+//	nodes    uint32
+//	inID     uint32   graph input node id (index into node list)
+//	outID    uint32   graph output node id
+//	node × {
+//	    kind     uint8
+//	    fused    uint8   FusedReLU flag
+//	    name     str     (uint16 length + bytes)
+//	    attrs    12×int32 (conv spec) + 6×int32 (pool) + float32 eps
+//	    inputs   uint16 count + uint32 ids
+//	    params   uint8 count + { role str, tensor }
+//	    value    uint8 present + tensor (consts)
+//	}
+//	tensor = uint8 rank + int32 dims + float32 data
+const graphMagic = 0x49474d31 // "IGM1"
+
+// Save serializes the graph. Only nodes reachable from the output are
+// written, in topological order, so node ids are dense and deterministic.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	order := g.Topo()
+	id := make(map[*Node]uint32, len(order))
+	inIdx := -1
+	for i, n := range order {
+		id[n] = uint32(i)
+		if n == g.In {
+			inIdx = i
+		}
+	}
+	if inIdx < 0 {
+		return fmt.Errorf("graph: input node does not reach the output; cannot serialize")
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	putU32 := func(v uint32) {
+		le.PutUint32(scratch[:4], v)
+		bw.Write(scratch[:4])
+	}
+	putU16 := func(v uint16) {
+		le.PutUint16(scratch[:2], v)
+		bw.Write(scratch[:2])
+	}
+	putStr := func(s string) error {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("graph: string %q too long for format", s[:32])
+		}
+		putU16(uint16(len(s)))
+		bw.WriteString(s)
+		return nil
+	}
+	putTensor := func(t *tensor.Tensor) {
+		bw.WriteByte(byte(t.Shape().Rank()))
+		for _, d := range t.Shape() {
+			putU32(uint32(d))
+		}
+		for _, v := range t.Data() {
+			putU32(math.Float32bits(v))
+		}
+	}
+
+	putU32(graphMagic)
+	putU32(uint32(len(order)))
+	putU32(uint32(inIdx))
+	putU32(id[g.Out])
+	for _, n := range order {
+		bw.WriteByte(byte(n.Kind))
+		fused := byte(0)
+		if n.Attrs.FusedReLU {
+			fused = 1
+		}
+		bw.WriteByte(fused)
+		if err := putStr(n.Name); err != nil {
+			return err
+		}
+		c := n.Attrs.Conv
+		for _, v := range []int{c.InC, c.OutC, c.KH, c.KW, c.StrideH, c.StrideW,
+			c.PadH, c.PadW, c.Groups} {
+			putU32(uint32(int32(v)))
+		}
+		p := n.Attrs.Pool
+		for _, v := range []int{p.KH, p.KW, p.StrideH, p.StrideW, p.PadH, p.PadW} {
+			putU32(uint32(int32(v)))
+		}
+		putU32(math.Float32bits(n.Attrs.Eps))
+		// Input nodes carry their declared shape (other nodes re-infer).
+		if n.Kind == OpInput {
+			bw.WriteByte(byte(n.OutShape.Rank()))
+			for _, d := range n.OutShape {
+				putU32(uint32(d))
+			}
+		}
+		putU16(uint16(len(n.Inputs)))
+		for _, in := range n.Inputs {
+			nid, ok := id[in]
+			if !ok {
+				return fmt.Errorf("graph: %s has input outside the reachable set", n)
+			}
+			putU32(nid)
+		}
+		roles := make([]string, 0, len(n.Params))
+		for r := range n.Params {
+			roles = append(roles, r)
+		}
+		sort.Strings(roles)
+		bw.WriteByte(byte(len(roles)))
+		for _, role := range roles {
+			if err := putStr(role); err != nil {
+				return err
+			}
+			putTensor(n.Params[role])
+		}
+		if n.Value != nil {
+			bw.WriteByte(1)
+			putTensor(n.Value)
+		} else {
+			bw.WriteByte(0)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses a graph previously written with Save and re-infers
+// its shapes.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var scratch [4]byte
+	le := binary.LittleEndian
+	getU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(scratch[:4]), nil
+	}
+	getU16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return 0, err
+		}
+		return le.Uint16(scratch[:2]), nil
+	}
+	getStr := func() (string, error) {
+		n, err := getU16()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	getTensor := func() (*tensor.Tensor, error) {
+		rank, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		dims := make([]int, rank)
+		elems := 1
+		for i := range dims {
+			d, err := getU32()
+			if err != nil {
+				return nil, err
+			}
+			if d == 0 || d > 1<<24 {
+				return nil, fmt.Errorf("graph: implausible tensor dim %d", d)
+			}
+			dims[i] = int(d)
+			elems *= int(d)
+			if elems > 1<<28 {
+				return nil, fmt.Errorf("graph: implausible tensor size")
+			}
+		}
+		t := tensor.New(dims...)
+		for i := range t.Data() {
+			bits, err := getU32()
+			if err != nil {
+				return nil, err
+			}
+			t.Data()[i] = math.Float32frombits(bits)
+		}
+		return t, nil
+	}
+
+	magic, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != graphMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	count, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible node count %d", count)
+	}
+	inID, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	outID, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if inID >= count || outID >= count {
+		return nil, fmt.Errorf("graph: input/output id out of range")
+	}
+	nodes := make([]*Node, count)
+	g := &Graph{}
+	for i := range nodes {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		fused, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{ID: i, Name: name, Kind: OpKind(kind), Attrs: Attrs{FusedReLU: fused == 1}}
+		var convVals [9]int32
+		for j := range convVals {
+			v, err := getU32()
+			if err != nil {
+				return nil, err
+			}
+			convVals[j] = int32(v)
+		}
+		n.Attrs.Conv = tensor.ConvSpec{
+			InC: int(convVals[0]), OutC: int(convVals[1]),
+			KH: int(convVals[2]), KW: int(convVals[3]),
+			StrideH: int(convVals[4]), StrideW: int(convVals[5]),
+			PadH: int(convVals[6]), PadW: int(convVals[7]),
+			Groups: int(convVals[8]),
+		}
+		var poolVals [6]int32
+		for j := range poolVals {
+			v, err := getU32()
+			if err != nil {
+				return nil, err
+			}
+			poolVals[j] = int32(v)
+		}
+		n.Attrs.Pool = PoolAttrs{
+			KH: int(poolVals[0]), KW: int(poolVals[1]),
+			StrideH: int(poolVals[2]), StrideW: int(poolVals[3]),
+			PadH: int(poolVals[4]), PadW: int(poolVals[5]),
+		}
+		epsBits, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		n.Attrs.Eps = math.Float32frombits(epsBits)
+		if n.Kind == OpInput {
+			rank, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			shape := make(tensor.Shape, rank)
+			for j := range shape {
+				d, err := getU32()
+				if err != nil {
+					return nil, err
+				}
+				if d == 0 || d > 1<<24 {
+					return nil, fmt.Errorf("graph: implausible input dim %d", d)
+				}
+				shape[j] = int(d)
+			}
+			n.OutShape = shape
+		}
+		nIn, err := getU16()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < int(nIn); j++ {
+			idx, err := getU32()
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint32(i) {
+				return nil, fmt.Errorf("graph: node %d input %d violates topological order", i, idx)
+			}
+			n.Inputs = append(n.Inputs, nodes[idx])
+		}
+		nParams, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < int(nParams); j++ {
+			role, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			t, err := getTensor()
+			if err != nil {
+				return nil, err
+			}
+			n.setParam(role, t)
+		}
+		hasValue, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if hasValue == 1 {
+			if n.Value, err = getTensor(); err != nil {
+				return nil, err
+			}
+		}
+		nodes[i] = n
+		g.Nodes = append(g.Nodes, n)
+	}
+	g.nextID = len(nodes)
+	g.In = nodes[inID]
+	g.Out = nodes[outID]
+	if g.In.Kind != OpInput {
+		return nil, fmt.Errorf("graph: declared input node is %v, not Input", g.In.Kind)
+	}
+	if err := g.InferShapes(); err != nil {
+		return nil, fmt.Errorf("graph: loaded model fails shape inference: %w", err)
+	}
+	return g, nil
+}

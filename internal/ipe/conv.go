@@ -1,0 +1,200 @@
+package ipe
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// ConvLayer is a 2-D convolution whose weights have been index-pair
+// encoded. Grouped convolutions hold one program per group, each encoding
+// the [outC/groups, inC/groups·kH·kW] weight slice of that group.
+type ConvLayer struct {
+	Spec     tensor.ConvSpec
+	Programs []*Program
+	Bias     *tensor.Tensor // nil or [outC]
+	Quant    *quant.Quantized
+}
+
+// EncodeConv quantizes an OIHW weight tensor to the given bit-width and
+// index-pair encodes it (per group). The returned layer computes the same
+// convolution as tensor.Conv2D over the *dequantized* weights.
+func EncodeConv(w, bias *tensor.Tensor, spec tensor.ConvSpec, bits int, scheme quant.Scheme, cfg Config) (*ConvLayer, Stats, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if !w.Shape().Equal(spec.WeightShape()) {
+		return nil, Stats{}, fmt.Errorf("ipe: weight shape %v != expected %v for spec %+v",
+			w.Shape(), spec.WeightShape(), spec)
+	}
+	q := quant.Quantize(w, bits, scheme)
+	layer := &ConvLayer{Spec: spec, Bias: bias, Quant: q}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	kSize := icg * spec.KH * spec.KW
+	var total Stats
+	for g := 0; g < spec.Groups; g++ {
+		gq := &quant.Quantized{
+			Codes:  q.Codes[g*ocg*kSize : (g+1)*ocg*kSize],
+			Shape:  tensor.Shape{ocg, icg, spec.KH, spec.KW},
+			Bits:   q.Bits,
+			Scheme: q.Scheme,
+		}
+		if q.Scheme == quant.PerChannel {
+			gq.Params = q.Params[g*ocg : (g+1)*ocg]
+		} else {
+			gq.Params = q.Params
+		}
+		prog, st, err := Encode(gq, cfg)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("ipe: encoding group %d: %w", g, err)
+		}
+		layer.Programs = append(layer.Programs, prog)
+		total.Rounds += st.Rounds
+		total.Merges += st.Merges
+		total.DeadPruned += st.DeadPruned
+		total.InputSymbols += st.InputSymbols
+		total.OutputSymbols += st.OutputSymbols
+	}
+	return layer, total, nil
+}
+
+// Forward runs the encoded convolution on an NCHW input. The result
+// matches tensor.Conv2D(in, dequantized weights, bias, spec) up to float
+// accumulation order.
+func (l *ConvLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	ocg := spec.OutC / spec.Groups
+	out := tensor.New(n, spec.OutC, oh, ow)
+	od := out.Data()
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			col := tensor.Im2colGroup(in, b, g, spec)
+			res := l.Programs[g].ExecuteMatrix(col) // [ocg, oh*ow]
+			rd := res.Data()
+			for oc := 0; oc < ocg; oc++ {
+				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
+				src := rd[oc*oh*ow : (oc+1)*oh*ow]
+				var bv float32
+				if l.Bias != nil {
+					bv = l.Bias.Data()[g*ocg+oc]
+				}
+				for i, v := range src {
+					dst[i] = v + bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Cost returns the total arithmetic cost of one forward pass over an input
+// of spatial size h×w with batch n: the per-pixel program cost scaled by
+// the number of output pixels, summed over groups.
+func (l *ConvLayer) Cost(n, h, w int) Cost {
+	oh, ow := l.Spec.OutDims(h, w)
+	pixels := int64(n) * int64(oh) * int64(ow)
+	var total Cost
+	for _, p := range l.Programs {
+		c := p.Cost()
+		total.Adds += c.Adds * pixels
+		total.Muls += c.Muls * pixels
+		total.StreamSymbols += c.StreamSymbols
+		total.DictEntries += c.DictEntries
+		if c.ScratchWords > total.ScratchWords {
+			total.ScratchWords = c.ScratchWords
+		}
+	}
+	return total
+}
+
+// DenseLayer is a fully connected layer with index-pair-encoded weights.
+type DenseLayer struct {
+	Program *Program
+	Bias    *tensor.Tensor // nil or [m]
+	Quant   *quant.Quantized
+}
+
+// EncodeDense quantizes an [m, k] weight matrix and index-pair encodes it.
+func EncodeDense(w, bias *tensor.Tensor, bits int, scheme quant.Scheme, cfg Config) (*DenseLayer, Stats, error) {
+	if w.Shape().Rank() != 2 {
+		return nil, Stats{}, fmt.Errorf("ipe: EncodeDense wants [m, k] weight, got %v", w.Shape())
+	}
+	q := quant.Quantize(w, bits, scheme)
+	prog, st, err := Encode(q, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return &DenseLayer{Program: prog, Bias: bias, Quant: q}, st, nil
+}
+
+// Forward computes y = W_q·x + b for each row of the [n, k] input.
+func (l *DenseLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
+	n, k := in.Dim(0), in.Dim(1)
+	if k != l.Program.K {
+		panic(fmt.Sprintf("ipe: DenseLayer input width %d != K %d", k, l.Program.K))
+	}
+	out := tensor.New(n, l.Program.M)
+	for b := 0; b < n; b++ {
+		l.Program.Execute(in.Data()[b*k:(b+1)*k], out.Data()[b*l.Program.M:(b+1)*l.Program.M])
+	}
+	if l.Bias != nil {
+		bd := l.Bias.Data()
+		od := out.Data()
+		for b := 0; b < n; b++ {
+			for i := 0; i < l.Program.M; i++ {
+				od[b*l.Program.M+i] += bd[i]
+			}
+		}
+	}
+	return out
+}
+
+// EncodeConvShared is EncodeConv with one pair dictionary shared across
+// all groups of a grouped convolution. Every group has the same reduction
+// length (inC/groups·kH·kW), so the groups' index sets can be counted
+// jointly (ipe.EncodeShared); for depthwise convolutions — tens to
+// hundreds of tiny single-channel groups — this collapses per-group
+// dictionaries into one decode-table image. For groups == 1 it is
+// identical to EncodeConv.
+func EncodeConvShared(w, bias *tensor.Tensor, spec tensor.ConvSpec, bits int, scheme quant.Scheme, cfg Config) (*ConvLayer, Stats, error) {
+	spec = spec.Normalize()
+	if spec.Groups <= 1 {
+		return EncodeConv(w, bias, spec, bits, scheme, cfg)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if !w.Shape().Equal(spec.WeightShape()) {
+		return nil, Stats{}, fmt.Errorf("ipe: weight shape %v != expected %v for spec %+v",
+			w.Shape(), spec.WeightShape(), spec)
+	}
+	q := quant.Quantize(w, bits, scheme)
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	kSize := icg * spec.KH * spec.KW
+	qs := make([]*quant.Quantized, spec.Groups)
+	for g := 0; g < spec.Groups; g++ {
+		gq := &quant.Quantized{
+			Codes:  q.Codes[g*ocg*kSize : (g+1)*ocg*kSize],
+			Shape:  tensor.Shape{ocg, icg, spec.KH, spec.KW},
+			Bits:   q.Bits,
+			Scheme: q.Scheme,
+		}
+		if q.Scheme == quant.PerChannel {
+			gq.Params = q.Params[g*ocg : (g+1)*ocg]
+		} else {
+			gq.Params = q.Params
+		}
+		qs[g] = gq
+	}
+	progs, stats, err := EncodeShared(qs, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return &ConvLayer{Spec: spec, Programs: progs, Bias: bias, Quant: q}, stats, nil
+}

@@ -1,0 +1,72 @@
+package ipe
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/quant"
+)
+
+// ExpandSymbol returns the raw input indices a symbol covers, in ascending
+// order. Raw symbols expand to themselves; dictionary symbols expand
+// recursively through their pair operands.
+func (p *Program) ExpandSymbol(s int32) []int32 {
+	var out []int32
+	var walk func(s int32)
+	walk = func(s int32) {
+		if int(s) < p.K {
+			out = append(out, s)
+			return
+		}
+		pr := p.Pairs[int(s)-p.K]
+		walk(pr.A)
+		walk(pr.B)
+	}
+	walk(s)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Decode reconstructs the quantized code matrix [M, K] the program encodes.
+// Every term's symbols expand to raw indices that receive the term's code.
+// It errors if any raw index is covered twice within a row (which would
+// mean the encoding double-counts an input).
+func (p *Program) Decode() ([]int32, error) {
+	codes := make([]int32, p.M*p.K)
+	for r, row := range p.Rows {
+		for _, t := range row.Terms {
+			for _, s := range t.Syms {
+				for _, raw := range p.ExpandSymbol(s) {
+					at := r*p.K + int(raw)
+					if codes[at] != 0 {
+						return nil, fmt.Errorf("ipe: row %d input %d covered twice (codes %d and %d)",
+							r, raw, codes[at], t.Code)
+					}
+					codes[at] = t.Code
+				}
+			}
+		}
+	}
+	return codes, nil
+}
+
+// VerifyAgainst decodes the program and compares the reconstruction with
+// the quantized tensor it was encoded from. It is the encode→decode
+// round-trip check used by the property tests and by `inspire-encode
+// -verify`.
+func (p *Program) VerifyAgainst(q *quant.Quantized) error {
+	got, err := p.Decode()
+	if err != nil {
+		return err
+	}
+	if len(got) != len(q.Codes) {
+		return fmt.Errorf("ipe: decoded %d codes, want %d", len(got), len(q.Codes))
+	}
+	for i := range got {
+		if got[i] != q.Codes[i] {
+			return fmt.Errorf("ipe: code mismatch at flat index %d: decoded %d, original %d",
+				i, got[i], q.Codes[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package ipe
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes a human-readable listing of the program: header, the pair
+// dictionary in dependency order (with depths), and the per-row emit
+// terms. maxRows bounds the row section (0 = all rows); the dictionary
+// prints at most 64 entries with an elision marker. Intended for debugging
+// and for documentation snippets, not for machine consumption — that is
+// MarshalBinary's job.
+func (p *Program) Dump(w io.Writer, maxRows int) {
+	fmt.Fprintf(w, "ipe.Program{K=%d M=%d bits=%d dict=%d depth=%d}\n",
+		p.K, p.M, p.Bits, p.DictSize(), p.MaxDepthUsed())
+	const maxDict = 64
+	for j, pr := range p.Pairs {
+		if j == maxDict {
+			fmt.Fprintf(w, "  ... %d more pair entries\n", len(p.Pairs)-maxDict)
+			break
+		}
+		fmt.Fprintf(w, "  s%-6d = %s + %s   (depth %d)\n",
+			p.K+j, p.symName(pr.A), p.symName(pr.B), p.Depth[j])
+	}
+	rows := len(p.Rows)
+	if maxRows > 0 && maxRows < rows {
+		rows = maxRows
+	}
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(w, "  y[%d] =", r)
+		if len(p.Rows[r].Terms) == 0 {
+			fmt.Fprint(w, " 0")
+		}
+		for ti, t := range p.Rows[r].Terms {
+			if ti > 0 {
+				fmt.Fprint(w, " +")
+			}
+			fmt.Fprintf(w, " %g·Σ{", t.Value)
+			for si, s := range t.Syms {
+				if si > 0 {
+					fmt.Fprint(w, ",")
+				}
+				if si == 8 {
+					fmt.Fprintf(w, "…%d syms", len(t.Syms))
+					break
+				}
+				fmt.Fprint(w, p.symName(s))
+			}
+			fmt.Fprint(w, "}")
+		}
+		fmt.Fprintln(w)
+	}
+	if rows < len(p.Rows) {
+		fmt.Fprintf(w, "  ... %d more rows\n", len(p.Rows)-rows)
+	}
+}
+
+// symName renders a symbol id: raw inputs as x<i>, dictionary entries as
+// s<id>.
+func (p *Program) symName(s int32) string {
+	if int(s) < p.K {
+		return fmt.Sprintf("x%d", s)
+	}
+	return fmt.Sprintf("s%d", s)
+}

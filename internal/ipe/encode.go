@@ -1,0 +1,408 @@
+package ipe
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/quant"
+)
+
+// sequence is one (row, value) index set during encoding. syms starts as
+// the sorted raw indices whose code equals code in the row and shrinks as
+// pairs merge.
+type sequence struct {
+	row  int
+	code int32
+	syms []int32
+}
+
+// encoder carries the mutable merge state.
+type encoder struct {
+	cfg   Config
+	k     int
+	seqs  []sequence
+	pairs []Pair  // provisional dictionary
+	depth []int32 // per provisional dictionary entry
+	tile  []int32 // per symbol (raw + provisional)
+}
+
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func keyPair(k uint64) (int32, int32) {
+	return int32(uint32(k >> 32)), int32(uint32(k))
+}
+
+// Encode builds an index-pair-encoded program from a quantized weight
+// tensor. Dimension 0 of the tensor is the output (row) dimension; all
+// remaining dimensions are flattened into the reduction dimension K. The
+// zero code carries no work and is skipped entirely, so pruning-induced
+// sparsity is exploited for free.
+func Encode(q *quant.Quantized, cfg Config) (*Program, Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if q.Shape.Rank() < 2 {
+		return nil, Stats{}, fmt.Errorf("ipe: need rank >= 2 weight, got %v", q.Shape)
+	}
+	m := q.Shape[0]
+	if m == 0 || q.NumElements() == 0 {
+		return nil, Stats{}, fmt.Errorf("ipe: empty weight %v", q.Shape)
+	}
+	k := q.NumElements() / m
+
+	enc := &encoder{cfg: cfg, k: k}
+	enc.initTiles()
+	stats := Stats{}
+	enc.appendSequences(q, 0, &stats)
+
+	switch cfg.Policy {
+	case PolicyGreedy:
+		enc.runGreedy(&stats)
+	default:
+		enc.runLayered(&stats)
+	}
+	stats.Merges = len(enc.pairs)
+	for _, s := range enc.seqs {
+		stats.OutputSymbols += len(s.syms)
+	}
+
+	prog := enc.buildProgramScaled(m, q.Bits, func(row int) float32 {
+		return scaleOf(q, row)
+	}, &stats)
+	return prog, stats, nil
+}
+
+// appendSequences adds the (row, value) index sets of one quantized matrix,
+// with its rows mapped to the global row space starting at rowOffset.
+// Codes iterate in ascending order for determinism.
+func (e *encoder) appendSequences(q *quant.Quantized, rowOffset int, stats *Stats) {
+	m := q.Shape[0]
+	k := q.NumElements() / m
+	for row := 0; row < m; row++ {
+		base := row * k
+		groups := make(map[int32][]int32)
+		for i := 0; i < k; i++ {
+			c := q.Codes[base+i]
+			if c == 0 {
+				continue
+			}
+			groups[c] = append(groups[c], int32(i))
+		}
+		codes := make([]int32, 0, len(groups))
+		for c := range groups {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+		for _, c := range codes {
+			stats.InputSymbols += len(groups[c])
+			e.seqs = append(e.seqs, sequence{row: rowOffset + row, code: c, syms: groups[c]})
+		}
+	}
+}
+
+func (e *encoder) initTiles() {
+	// Raw symbol tiles; merged symbols append as they are created.
+	e.tile = make([]int32, e.k)
+	if e.cfg.TileSize > 0 {
+		for i := 0; i < e.k; i++ {
+			e.tile[i] = int32(i / e.cfg.TileSize)
+		}
+	}
+}
+
+// symDepth returns the depth of any symbol id.
+func (e *encoder) symDepth(s int32) int32 {
+	if int(s) < e.k {
+		return 0
+	}
+	return e.depth[int(s)-e.k]
+}
+
+// legalPair reports whether merging (a, b) respects the depth and tile
+// constraints.
+func (e *encoder) legalPair(a, b int32) bool {
+	if e.cfg.TileSize > 0 && e.tile[a] != e.tile[b] {
+		return false
+	}
+	if e.cfg.MaxDepth > 0 {
+		d := e.symDepth(a)
+		if db := e.symDepth(b); db > d {
+			d = db
+		}
+		if int(d)+1 > e.cfg.MaxDepth {
+			return false
+		}
+	}
+	return true
+}
+
+// allocSymbol appends a new dictionary entry for the pair (a, b) and
+// returns its symbol id.
+func (e *encoder) allocSymbol(a, b int32) int32 {
+	d := e.symDepth(a)
+	if db := e.symDepth(b); db > d {
+		d = db
+	}
+	e.pairs = append(e.pairs, Pair{A: a, B: b})
+	e.depth = append(e.depth, d+1)
+	e.tile = append(e.tile, e.tile[a]) // == tile[b] under the constraint
+	return int32(e.k + len(e.pairs) - 1)
+}
+
+// countAdjacent tallies canonical adjacent pairs across all sequences.
+// Counting dominates encode time on large layers, so it shards the
+// sequence list across workers with private maps and merges; addition is
+// commutative, so the result is identical to a serial count.
+func (e *encoder) countAdjacent() map[uint64]int {
+	workers := goruntime.GOMAXPROCS(0)
+	const minSeqsPerWorker = 2048
+	if len(e.seqs) < 2*minSeqsPerWorker || workers < 2 {
+		counts := make(map[uint64]int)
+		for _, s := range e.seqs {
+			for i := 0; i+1 < len(s.syms); i++ {
+				counts[pairKey(s.syms[i], s.syms[i+1])]++
+			}
+		}
+		return counts
+	}
+	if max := len(e.seqs) / minSeqsPerWorker; workers > max {
+		workers = max
+	}
+	shards := make([]map[uint64]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(e.seqs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(e.seqs))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[uint64]int)
+			for _, s := range e.seqs[lo:hi] {
+				for i := 0; i+1 < len(s.syms); i++ {
+					m[pairKey(s.syms[i], s.syms[i+1])]++
+				}
+			}
+			shards[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	counts := shards[0]
+	for _, m := range shards[1:] {
+		for k, v := range m {
+			counts[k] += v
+		}
+	}
+	return counts
+}
+
+// runLayered performs batched merge rounds until no pair repeats or the
+// dictionary is full.
+func (e *encoder) runLayered(stats *Stats) {
+	minCount := e.cfg.minCount()
+	for {
+		counts := e.countAdjacent()
+		type cand struct {
+			key   uint64
+			count int
+		}
+		cands := make([]cand, 0, len(counts))
+		for key, c := range counts {
+			if c < minCount {
+				continue
+			}
+			a, b := keyPair(key)
+			if !e.legalPair(a, b) {
+				continue
+			}
+			cands = append(cands, cand{key, c})
+		}
+		if len(cands) == 0 {
+			return
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].count != cands[j].count {
+				return cands[i].count > cands[j].count
+			}
+			return cands[i].key < cands[j].key
+		})
+		if e.cfg.MaxDict > 0 {
+			budget := e.cfg.MaxDict - len(e.pairs)
+			if budget <= 0 {
+				return
+			}
+			if len(cands) > budget {
+				cands = cands[:budget]
+			}
+		}
+		assigned := make(map[uint64]int32, len(cands))
+		for _, c := range cands {
+			a, b := keyPair(c.key)
+			assigned[c.key] = e.allocSymbol(a, b)
+		}
+		if !e.replaceAssigned(assigned) {
+			return // no occurrence actually replaced; avoid spinning
+		}
+		stats.Rounds++
+	}
+}
+
+// runGreedy merges the single most frequent pair per iteration (textbook
+// BPE). Used for small layers and ablation.
+func (e *encoder) runGreedy(stats *Stats) {
+	minCount := e.cfg.minCount()
+	for {
+		if e.cfg.MaxDict > 0 && len(e.pairs) >= e.cfg.MaxDict {
+			return
+		}
+		counts := e.countAdjacent()
+		bestKey, bestCount := uint64(0), 0
+		for key, c := range counts {
+			if c < minCount {
+				continue
+			}
+			a, b := keyPair(key)
+			if !e.legalPair(a, b) {
+				continue
+			}
+			if c > bestCount || (c == bestCount && key < bestKey) {
+				bestKey, bestCount = key, c
+			}
+		}
+		if bestCount == 0 {
+			return
+		}
+		a, b := keyPair(bestKey)
+		sym := e.allocSymbol(a, b)
+		if !e.replaceAssigned(map[uint64]int32{bestKey: sym}) {
+			return
+		}
+		stats.Rounds++
+	}
+}
+
+// replaceAssigned rewrites every sequence, substituting assigned pairs left
+// to right without overlap. It reports whether any replacement happened.
+// Sequences are independent, so the rewrite shards across workers on large
+// inputs; replacement within a sequence is sequential, so determinism is
+// preserved.
+func (e *encoder) replaceAssigned(assigned map[uint64]int32) bool {
+	rewrite := func(lo, hi int) bool {
+		any := false
+		for si := lo; si < hi; si++ {
+			s := e.seqs[si].syms
+			if len(s) < 2 {
+				continue
+			}
+			out := s[:0]
+			i := 0
+			for i < len(s) {
+				if i+1 < len(s) {
+					if sym, ok := assigned[pairKey(s[i], s[i+1])]; ok {
+						out = append(out, sym)
+						i += 2
+						any = true
+						continue
+					}
+				}
+				out = append(out, s[i])
+				i++
+			}
+			e.seqs[si].syms = out
+		}
+		return any
+	}
+	workers := goruntime.GOMAXPROCS(0)
+	const minSeqsPerWorker = 2048
+	if len(e.seqs) < 2*minSeqsPerWorker || workers < 2 {
+		return rewrite(0, len(e.seqs))
+	}
+	if max := len(e.seqs) / minSeqsPerWorker; workers > max {
+		workers = max
+	}
+	anyShard := make([]bool, workers)
+	var wg sync.WaitGroup
+	chunk := (len(e.seqs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(e.seqs))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			anyShard[w] = rewrite(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, a := range anyShard {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// buildProgramScaled compacts away dictionary entries no surviving
+// sequence references (transitively) and assembles the final Program,
+// using scale(row) to fold the dequantization scale into each term.
+func (e *encoder) buildProgramScaled(m, bits int, scale func(int) float32, stats *Stats) *Program {
+	live := make([]bool, len(e.pairs))
+	var mark func(s int32)
+	mark = func(s int32) {
+		if int(s) < e.k {
+			return
+		}
+		j := int(s) - e.k
+		if live[j] {
+			return
+		}
+		live[j] = true
+		mark(e.pairs[j].A)
+		mark(e.pairs[j].B)
+	}
+	for _, s := range e.seqs {
+		for _, sym := range s.syms {
+			mark(sym)
+		}
+	}
+	// Renumber live entries, preserving creation (dependency) order.
+	remap := make([]int32, len(e.pairs))
+	prog := &Program{K: e.k, M: m, Bits: bits, Config: e.cfg}
+	for j, isLive := range live {
+		if !isLive {
+			remap[j] = -1
+			stats.DeadPruned++
+			continue
+		}
+		remap[j] = int32(e.k + len(prog.Pairs))
+		p := e.pairs[j]
+		prog.Pairs = append(prog.Pairs, Pair{A: remapSym(p.A, e.k, remap), B: remapSym(p.B, e.k, remap)})
+		prog.Depth = append(prog.Depth, e.depth[j])
+	}
+	prog.Rows = make([]Row, m)
+	for _, s := range e.seqs {
+		syms := make([]int32, len(s.syms))
+		for i, sym := range s.syms {
+			syms[i] = remapSym(sym, e.k, remap)
+		}
+		prog.Rows[s.row].Terms = append(prog.Rows[s.row].Terms, Term{
+			Code:  s.code,
+			Value: float32(s.code) * scale(s.row),
+			Syms:  syms,
+		})
+	}
+	return prog
+}
+
+func remapSym(s int32, k int, remap []int32) int32 {
+	if int(s) < k {
+		return s
+	}
+	return remap[int(s)-k]
+}

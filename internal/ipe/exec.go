@@ -1,0 +1,136 @@
+package ipe
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Execute evaluates the program on one input vector x of length K, writing
+// the M outputs to y. The float path uses the dequantized term values; it
+// matches a dense float GEMV on the dequantized weights up to accumulation
+// order.
+func (p *Program) Execute(x, y []float32) {
+	p.ExecuteScratch(x, y, make([]float32, p.NumSymbols()))
+}
+
+// ExecuteScratch is Execute with a caller-provided scratch buffer of at
+// least NumSymbols() floats, for allocation-free steady-state inference.
+func (p *Program) ExecuteScratch(x, y, scratch []float32) {
+	if len(x) < p.K || len(y) < p.M {
+		panic(fmt.Sprintf("ipe: Execute buffers too small (|x|=%d K=%d |y|=%d M=%d)",
+			len(x), p.K, len(y), p.M))
+	}
+	if len(scratch) < p.NumSymbols() {
+		panic(fmt.Sprintf("ipe: scratch %d < symbols %d", len(scratch), p.NumSymbols()))
+	}
+	copy(scratch, x[:p.K])
+	p.executeInto(scratch, y)
+}
+
+// executeInto assumes vals[:K] already holds the input and uses
+// vals[K:] as the dictionary scratch.
+func (p *Program) executeInto(vals, y []float32) {
+	for j, pr := range p.Pairs {
+		vals[p.K+j] = vals[pr.A] + vals[pr.B]
+	}
+	for r := range p.Rows {
+		var acc float32
+		for _, t := range p.Rows[r].Terms {
+			var g float32
+			for _, s := range t.Syms {
+				g += vals[s]
+			}
+			acc += t.Value * g
+		}
+		y[r] = acc
+	}
+}
+
+// ExecuteInt evaluates the program exactly in integer arithmetic: x holds
+// quantized input codes and y receives the int64 accumulators
+// Σ code·Σ x[i]. This is the bit-exact path used by the equivalence
+// property tests.
+func (p *Program) ExecuteInt(x []int32, y []int64) {
+	if len(x) < p.K || len(y) < p.M {
+		panic("ipe: ExecuteInt buffers too small")
+	}
+	vals := make([]int64, p.NumSymbols())
+	for i := 0; i < p.K; i++ {
+		vals[i] = int64(x[i])
+	}
+	for j, pr := range p.Pairs {
+		vals[p.K+j] = vals[pr.A] + vals[pr.B]
+	}
+	for r := range p.Rows {
+		var acc int64
+		for _, t := range p.Rows[r].Terms {
+			var g int64
+			for _, s := range t.Syms {
+				g += vals[s]
+			}
+			acc += int64(t.Code) * g
+		}
+		y[r] = acc
+	}
+}
+
+// colBlock is the number of input columns processed per scratch refill in
+// ExecuteMatrix. It trades scratch size ((K+dict)·colBlock floats) against
+// amortization of the instruction stream walk.
+const colBlock = 64
+
+// ExecuteMatrix evaluates the program on an input matrix of shape [K, P]
+// (e.g. an im2col lowering, one column per output pixel), producing the
+// [M, P] result. Columns are processed in blocks so each dictionary partial
+// sum is computed once per column with contiguous inner loops.
+func (p *Program) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
+	if cols.Shape().Rank() != 2 || cols.Dim(0) != p.K {
+		panic(fmt.Sprintf("ipe: ExecuteMatrix wants [K=%d, P] input, got %v", p.K, cols.Shape()))
+	}
+	pTotal := cols.Dim(1)
+	out := tensor.New(p.M, pTotal)
+	cd, od := cols.Data(), out.Data()
+	nsym := p.NumSymbols()
+	scratch := make([]float32, nsym*colBlock)
+	for c0 := 0; c0 < pTotal; c0 += colBlock {
+		bw := min(colBlock, pTotal-c0)
+		// Load the raw input rows for this column block.
+		for i := 0; i < p.K; i++ {
+			copy(scratch[i*colBlock:i*colBlock+bw], cd[i*pTotal+c0:i*pTotal+c0+bw])
+		}
+		// Build dictionary partial sums, each a vector add over the block.
+		for j, pr := range p.Pairs {
+			dst := scratch[(p.K+j)*colBlock : (p.K+j)*colBlock+bw]
+			a := scratch[int(pr.A)*colBlock : int(pr.A)*colBlock+bw]
+			b := scratch[int(pr.B)*colBlock : int(pr.B)*colBlock+bw]
+			for i := range dst {
+				dst[i] = a[i] + b[i]
+			}
+		}
+		// Emit rows.
+		acc := make([]float32, bw)
+		group := make([]float32, bw)
+		for r := range p.Rows {
+			for i := range acc[:bw] {
+				acc[i] = 0
+			}
+			for _, t := range p.Rows[r].Terms {
+				for i := range group[:bw] {
+					group[i] = 0
+				}
+				for _, s := range t.Syms {
+					src := scratch[int(s)*colBlock : int(s)*colBlock+bw]
+					for i := range src {
+						group[i] += src[i]
+					}
+				}
+				for i := 0; i < bw; i++ {
+					acc[i] += t.Value * group[i]
+				}
+			}
+			copy(od[r*pTotal+c0:r*pTotal+c0+bw], acc[:bw])
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package ipe
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestMarshalRoundTripSmall(t *testing.T) {
+	q := qm([]int32{
+		1, 1, 0, 2,
+		1, 1, 2, 0,
+	}, 2, 4)
+	prog, _, err := Encode(q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Program
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.K != prog.K || back.M != prog.M || back.Bits != prog.Bits {
+		t.Fatalf("header mismatch: %+v vs %+v", back, prog)
+	}
+	if len(back.Pairs) != len(prog.Pairs) {
+		t.Fatalf("dict size %d vs %d", len(back.Pairs), len(prog.Pairs))
+	}
+	if err := back.VerifyAgainst(q); err != nil {
+		t.Fatalf("round-tripped program decodes wrong: %v", err)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		q := randQuant(r, 16, 48, 1+r.Intn(6), float64(r.Intn(2))*0.5)
+		prog, _, err := Encode(q, Config{MaxDict: 200, MaxDepth: 6, TileSize: 16})
+		if err != nil {
+			return false
+		}
+		data, err := prog.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		if int64(len(data)) != prog.WireSize() {
+			return false
+		}
+		var back Program
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		// The round-tripped program must execute identically.
+		k := prog.K
+		x := make([]int32, k)
+		for i := range x {
+			x[i] = int32(r.Intn(200)) - 100
+		}
+		y1 := make([]int64, prog.M)
+		y2 := make([]int64, prog.M)
+		prog.ExecuteInt(x, y1)
+		back.ExecuteInt(x, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				return false
+			}
+		}
+		// Depth is recomputed, not stored: must match.
+		for j := range prog.Depth {
+			if prog.Depth[j] != back.Depth[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	r := tensor.NewRNG(3)
+	q := randQuant(r, 8, 32, 4, 0)
+	prog, _, err := Encode(q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := prog.MarshalBinary()
+	b, _ := prog.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("serialization must be deterministic")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	r := tensor.NewRNG(4)
+	q := randQuant(r, 8, 32, 4, 0)
+	prog, _, err := Encode(q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bad magic":   func(d []byte) []byte { d[0] ^= 0xff; return d },
+		"truncated":   func(d []byte) []byte { return d[:len(d)/2] },
+		"trailing":    func(d []byte) []byte { return append(d, 0) },
+		"bad symW":    func(d []byte) []byte { d[13] = 3; return d },
+		"empty":       func(d []byte) []byte { return nil },
+		"header only": func(d []byte) []byte { return d[:16] },
+	}
+	for name, corrupt := range cases {
+		d := corrupt(append([]byte(nil), data...))
+		var back Program
+		if err := back.UnmarshalBinary(d); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsOutOfOrderPair(t *testing.T) {
+	// Build a minimal valid program, then corrupt a pair to reference a
+	// future symbol.
+	q := qm([]int32{1, 1, 1, 1, 1, 1, 1, 1}, 2, 4)
+	prog, _, err := Encode(q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.DictSize() == 0 {
+		t.Skip("no dictionary to corrupt")
+	}
+	prog.Pairs[0].A = int32(prog.K) // self/forward reference
+	data, err := prog.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Program
+	if err := back.UnmarshalBinary(data); err == nil {
+		t.Fatal("forward pair reference accepted")
+	}
+}
+
+func TestWireSizeSmallerThanDenseAtLowBits(t *testing.T) {
+	// The encoded stream must beat dense float32 storage comfortably at 4
+	// bits — the Table 5 claim.
+	r := tensor.NewRNG(5)
+	w := tensor.New(64, 576)
+	tensor.FillGaussian(w, r, 0.1)
+	q := quantize4(w)
+	prog, _, err := Encode(q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseBytes := int64(q.NumElements()) * 4
+	if ws := prog.WireSize(); ws >= denseBytes/2 {
+		t.Fatalf("wire size %d should be well under half of dense %d", ws, denseBytes)
+	}
+}

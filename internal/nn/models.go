@@ -1,0 +1,255 @@
+// Package nn builds the CNN workloads of the evaluation — LeNet-5,
+// ResNet-18, VGG-16 and MobileNetV1 — as computational graphs with
+// deterministic, seeded synthetic weights. The reproduction does not need
+// trained accuracy: index-pair encoding gains depend only on the weight
+// value multiplicity and index-set overlap statistics, which quantization
+// bit-width and pruning control (see DESIGN.md §2), so Kaiming-initialized
+// Gaussian weights exercise exactly the same code paths.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// builderState carries the RNG through a model construction.
+type builderState struct {
+	r *tensor.RNG
+}
+
+func (b *builderState) convWeights(spec tensor.ConvSpec) (*tensor.Tensor, *tensor.Tensor) {
+	w := tensor.New(spec.WeightShape()...)
+	fanIn := (spec.InC / max(spec.Groups, 1)) * spec.KH * spec.KW
+	tensor.FillGaussian(w, b.r, tensor.KaimingStd(fanIn))
+	bias := tensor.New(spec.OutC)
+	tensor.FillGaussian(bias, b.r, 0.01)
+	return w, bias
+}
+
+func (b *builderState) denseWeights(m, k int) (*tensor.Tensor, *tensor.Tensor) {
+	w := tensor.New(m, k)
+	tensor.FillGaussian(w, b.r, tensor.KaimingStd(k))
+	bias := tensor.New(m)
+	tensor.FillGaussian(bias, b.r, 0.01)
+	return w, bias
+}
+
+func (b *builderState) bnParams(c int) (gamma, beta, mean, variance *tensor.Tensor) {
+	gamma, beta = tensor.New(c), tensor.New(c)
+	mean, variance = tensor.New(c), tensor.New(c)
+	for i := 0; i < c; i++ {
+		gamma.Data()[i] = 0.5 + b.r.Float32()
+		beta.Data()[i] = float32(b.r.NormFloat64() * 0.1)
+		mean.Data()[i] = float32(b.r.NormFloat64() * 0.1)
+		variance.Data()[i] = 0.5 + b.r.Float32()
+	}
+	return gamma, beta, mean, variance
+}
+
+// convBNReLU appends conv → batchnorm → relu.
+func (b *builderState) convBNReLU(g *graph.Graph, x *graph.Node, name string, spec tensor.ConvSpec) *graph.Node {
+	w, bias := b.convWeights(spec)
+	c := g.Conv(x, name, spec, w, bias)
+	gamma, beta, mean, variance := b.bnParams(spec.OutC)
+	bn := g.BatchNorm(c, name+".bn", gamma, beta, mean, variance, 1e-5)
+	return g.ReLU(bn, name+".relu")
+}
+
+// LeNet5 builds the classic LeNet-5 for [batch, 1, 28, 28] inputs.
+func LeNet5(batch int, seed uint64) *graph.Graph {
+	b := &builderState{r: tensor.NewRNG(seed)}
+	g := graph.New("input", batch, 1, 28, 28)
+	s1 := tensor.ConvSpec{InC: 1, OutC: 6, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2}
+	w1, b1 := b.convWeights(s1)
+	x := g.ReLU(g.Conv(g.In, "conv1", s1, w1, b1), "relu1")
+	x = g.MaxPool(x, "pool1", graph.PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2})
+	s2 := tensor.ConvSpec{InC: 6, OutC: 16, KH: 5, KW: 5, StrideH: 1, StrideW: 1}
+	w2, b2 := b.convWeights(s2)
+	x = g.ReLU(g.Conv(x, "conv2", s2, w2, b2), "relu2")
+	x = g.MaxPool(x, "pool2", graph.PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2})
+	x = g.Flatten(x, "flatten")
+	w3, b3 := b.denseWeights(120, 16*5*5)
+	x = g.ReLU(g.Dense(x, "fc1", w3, b3), "relu3")
+	w4, b4 := b.denseWeights(84, 120)
+	x = g.ReLU(g.Dense(x, "fc2", w4, b4), "relu4")
+	w5, b5 := b.denseWeights(10, 84)
+	x = g.Dense(x, "fc3", w5, b5)
+	g.SetOutput(g.Softmax(x, "softmax"))
+	return g
+}
+
+// ResNet18 builds ResNet-18 for [batch, 3, hw, hw] inputs with the given
+// class count. hw must be a multiple of 32 (224 for the paper's ImageNet
+// shapes; 32 or 64 for fast functional tests).
+func ResNet18(batch, hw, classes int, seed uint64) *graph.Graph {
+	if hw%32 != 0 {
+		panic(fmt.Sprintf("nn: ResNet18 input size %d must be a multiple of 32", hw))
+	}
+	b := &builderState{r: tensor.NewRNG(seed)}
+	g := graph.New("input", batch, 3, hw, hw)
+	stem := tensor.ConvSpec{InC: 3, OutC: 64, KH: 7, KW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+	x := b.convBNReLU(g, g.In, "conv1", stem)
+	x = g.MaxPool(x, "pool1", graph.PoolAttrs{KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1})
+	chans := []int{64, 128, 256, 512}
+	inC := 64
+	for stage, c := range chans {
+		for block := 0; block < 2; block++ {
+			stride := 1
+			if stage > 0 && block == 0 {
+				stride = 2
+			}
+			x = b.basicBlock(g, x, fmt.Sprintf("layer%d.%d", stage+1, block), inC, c, stride)
+			inC = c
+		}
+	}
+	x = g.GlobalAvgPool(x, "gap")
+	x = g.Flatten(x, "flatten")
+	wf, bf := b.denseWeights(classes, 512)
+	x = g.Dense(x, "fc", wf, bf)
+	g.SetOutput(g.Softmax(x, "softmax"))
+	return g
+}
+
+// basicBlock is the two-conv residual block of ResNet-18 with an optional
+// strided 1x1 projection shortcut.
+func (b *builderState) basicBlock(g *graph.Graph, x *graph.Node, name string, inC, outC, stride int) *graph.Node {
+	s1 := tensor.ConvSpec{InC: inC, OutC: outC, KH: 3, KW: 3, StrideH: stride, StrideW: stride, PadH: 1, PadW: 1}
+	w1, b1 := b.convWeights(s1)
+	y := g.Conv(x, name+".conv1", s1, w1, b1)
+	g1, be1, m1, v1 := b.bnParams(outC)
+	y = g.ReLU(g.BatchNorm(y, name+".bn1", g1, be1, m1, v1, 1e-5), name+".relu1")
+	s2 := tensor.ConvSpec{InC: outC, OutC: outC, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w2, b2 := b.convWeights(s2)
+	y = g.Conv(y, name+".conv2", s2, w2, b2)
+	g2, be2, m2, v2 := b.bnParams(outC)
+	y = g.BatchNorm(y, name+".bn2", g2, be2, m2, v2, 1e-5)
+	short := x
+	if stride != 1 || inC != outC {
+		sp := tensor.ConvSpec{InC: inC, OutC: outC, KH: 1, KW: 1, StrideH: stride, StrideW: stride}
+		wp, bp := b.convWeights(sp)
+		short = g.Conv(x, name+".proj", sp, wp, bp)
+		g3, be3, m3, v3 := b.bnParams(outC)
+		short = g.BatchNorm(short, name+".proj.bn", g3, be3, m3, v3, 1e-5)
+	}
+	return g.ReLU(g.Add(y, short, name+".add"), name+".relu2")
+}
+
+// VGG16 builds VGG-16's convolutional trunk for [batch, 3, hw, hw] inputs
+// with a compact classifier head (512→512→classes) so the model stays
+// runnable at sub-ImageNet input sizes. hw must be a multiple of 32.
+func VGG16(batch, hw, classes int, seed uint64) *graph.Graph {
+	if hw%32 != 0 {
+		panic(fmt.Sprintf("nn: VGG16 input size %d must be a multiple of 32", hw))
+	}
+	b := &builderState{r: tensor.NewRNG(seed)}
+	g := graph.New("input", batch, 3, hw, hw)
+	cfg := []struct {
+		convs, outC int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	x := g.In
+	inC := 3
+	for bi, blk := range cfg {
+		for ci := 0; ci < blk.convs; ci++ {
+			spec := tensor.ConvSpec{InC: inC, OutC: blk.outC, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+			w, bias := b.convWeights(spec)
+			x = g.ReLU(g.Conv(x, fmt.Sprintf("conv%d_%d", bi+1, ci+1), spec, w, bias),
+				fmt.Sprintf("relu%d_%d", bi+1, ci+1))
+			inC = blk.outC
+		}
+		x = g.MaxPool(x, fmt.Sprintf("pool%d", bi+1), graph.PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2})
+	}
+	x = g.Flatten(x, "flatten")
+	feat := 512 * (hw / 32) * (hw / 32)
+	w1, b1 := b.denseWeights(512, feat)
+	x = g.ReLU(g.Dense(x, "fc1", w1, b1), "fc1.relu")
+	w2, b2 := b.denseWeights(classes, 512)
+	x = g.Dense(x, "fc2", w2, b2)
+	g.SetOutput(g.Softmax(x, "softmax"))
+	return g
+}
+
+// MobileNetV1 builds MobileNet v1 (depthwise-separable convolutions) for
+// [batch, 3, hw, hw] inputs. hw must be a multiple of 32.
+func MobileNetV1(batch, hw, classes int, seed uint64) *graph.Graph {
+	if hw%32 != 0 {
+		panic(fmt.Sprintf("nn: MobileNetV1 input size %d must be a multiple of 32", hw))
+	}
+	b := &builderState{r: tensor.NewRNG(seed)}
+	g := graph.New("input", batch, 3, hw, hw)
+	stem := tensor.ConvSpec{InC: 3, OutC: 32, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	x := b.convBNReLU(g, g.In, "conv1", stem)
+	blocks := []struct{ outC, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	inC := 32
+	for i, blk := range blocks {
+		name := fmt.Sprintf("dsconv%d", i+1)
+		dw := tensor.ConvSpec{InC: inC, OutC: inC, KH: 3, KW: 3,
+			StrideH: blk.stride, StrideW: blk.stride, PadH: 1, PadW: 1, Groups: inC}
+		x = b.convBNReLU(g, x, name+".dw", dw)
+		pw := tensor.ConvSpec{InC: inC, OutC: blk.outC, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+		x = b.convBNReLU(g, x, name+".pw", pw)
+		inC = blk.outC
+	}
+	x = g.GlobalAvgPool(x, "gap")
+	x = g.Flatten(x, "flatten")
+	wf, bf := b.denseWeights(classes, inC)
+	x = g.Dense(x, "fc", wf, bf)
+	g.SetOutput(g.Softmax(x, "softmax"))
+	return g
+}
+
+// Model pairs a display name with its builder at a standard small input
+// size, for the experiment drivers.
+type Model struct {
+	Name  string
+	Build func(batch int, seed uint64) *graph.Graph
+}
+
+// Zoo returns the evaluation's model set at the given spatial input size
+// (LeNet-5 is fixed at 28×28 by construction).
+func Zoo(hw int) []Model {
+	return []Model{
+		{"LeNet-5", func(batch int, seed uint64) *graph.Graph { return LeNet5(batch, seed) }},
+		{"ResNet-18", func(batch int, seed uint64) *graph.Graph { return ResNet18(batch, hw, 10, seed) }},
+		{"VGG-16", func(batch int, seed uint64) *graph.Graph { return VGG16(batch, hw, 10, seed) }},
+		{"MobileNetV1", func(batch int, seed uint64) *graph.Graph { return MobileNetV1(batch, hw, 10, seed) }},
+		{"SqueezeNet", func(batch int, seed uint64) *graph.Graph { return SqueezeNet(batch, hw, 10, seed) }},
+	}
+}
+
+// ConvLayerInfo describes one convolution extracted from a graph, for the
+// per-layer experiments.
+type ConvLayerInfo struct {
+	Name   string
+	Spec   tensor.ConvSpec
+	Weight *tensor.Tensor
+	Bias   *tensor.Tensor
+	// InH and InW are the inferred input spatial dims; Batch the batch.
+	Batch, InH, InW int
+}
+
+// ConvLayers extracts every convolution node of g in topological order.
+// InferShapes must have been run (or the graph freshly built via Optimize).
+func ConvLayers(g *graph.Graph) []ConvLayerInfo {
+	var out []ConvLayerInfo
+	for _, n := range g.Topo() {
+		if n.Kind != graph.OpConv {
+			continue
+		}
+		in := n.Inputs[0].OutShape
+		if in.Rank() != 4 {
+			continue
+		}
+		out = append(out, ConvLayerInfo{
+			Name: n.Name, Spec: n.Attrs.Conv,
+			Weight: n.Param("weight"), Bias: n.Param("bias"),
+			Batch: in[0], InH: in[2], InW: in[3],
+		})
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func evalModel(t *testing.T, g *graph.Graph, inShape tensor.Shape, seed uint64) *tensor.Tensor {
+	t.Helper()
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(seed)
+	in := tensor.New(inShape...)
+	tensor.FillGaussian(in, r, 1)
+	out, err := graph.Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertProbabilities(t *testing.T, out *tensor.Tensor, classes int) {
+	t.Helper()
+	if !out.Shape().Equal(tensor.Shape{out.Dim(0), classes}) {
+		t.Fatalf("output shape = %v, want [n %d]", out.Shape(), classes)
+	}
+	for b := 0; b < out.Dim(0); b++ {
+		var s float64
+		for i := 0; i < classes; i++ {
+			v := float64(out.At(b, i))
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("invalid probability %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-4 {
+			t.Fatalf("row %d probabilities sum to %v", b, s)
+		}
+	}
+}
+
+func TestLeNet5Forward(t *testing.T) {
+	g := LeNet5(2, 1)
+	out := evalModel(t, g, tensor.Shape{2, 1, 28, 28}, 2)
+	assertProbabilities(t, out, 10)
+}
+
+func TestLeNet5ParamCount(t *testing.T) {
+	g := LeNet5(1, 1)
+	// Classic LeNet-5 parameter count:
+	// conv1 6*1*5*5+6=156; conv2 16*6*5*5+16=2416;
+	// fc1 120*400+120=48120; fc2 84*120+84=10164; fc3 10*84+10=850.
+	want := int64(156 + 2416 + 48120 + 10164 + 850)
+	if got := g.NumParams(); got != want {
+		t.Fatalf("LeNet-5 params = %d, want %d", got, want)
+	}
+}
+
+func TestResNet18Forward(t *testing.T) {
+	g := ResNet18(1, 32, 10, 3)
+	out := evalModel(t, g, tensor.Shape{1, 3, 32, 32}, 4)
+	assertProbabilities(t, out, 10)
+}
+
+func TestResNet18HasExpectedConvCount(t *testing.T) {
+	g := ResNet18(1, 32, 10, 3)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	// Stem + 8 blocks × 2 convs + 3 projection shortcuts = 20.
+	convs := ConvLayers(g)
+	if len(convs) != 20 {
+		t.Fatalf("ResNet-18 conv count = %d, want 20", len(convs))
+	}
+}
+
+func TestResNet18ParamMagnitude(t *testing.T) {
+	g := ResNet18(1, 32, 10, 5)
+	p := g.NumParams()
+	// ~11.2M conv/fc params in real ResNet-18; ours adds conv biases and
+	// small-head fc, so just check the ballpark.
+	if p < 10_000_000 || p > 13_000_000 {
+		t.Fatalf("ResNet-18 params = %d, expected ≈ 11M", p)
+	}
+}
+
+func TestVGG16Forward(t *testing.T) {
+	g := VGG16(1, 32, 10, 6)
+	out := evalModel(t, g, tensor.Shape{1, 3, 32, 32}, 7)
+	assertProbabilities(t, out, 10)
+}
+
+func TestVGG16ConvCount(t *testing.T) {
+	g := VGG16(1, 32, 10, 6)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ConvLayers(g)); got != 13 {
+		t.Fatalf("VGG-16 conv count = %d, want 13", got)
+	}
+}
+
+func TestMobileNetV1Forward(t *testing.T) {
+	g := MobileNetV1(1, 32, 10, 8)
+	out := evalModel(t, g, tensor.Shape{1, 3, 32, 32}, 9)
+	assertProbabilities(t, out, 10)
+}
+
+func TestMobileNetV1DepthwiseStructure(t *testing.T) {
+	g := MobileNetV1(1, 32, 10, 8)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	convs := ConvLayers(g)
+	// Stem + 13 blocks × (dw + pw) = 27.
+	if len(convs) != 27 {
+		t.Fatalf("MobileNetV1 conv count = %d, want 27", len(convs))
+	}
+	dw := 0
+	for _, c := range convs {
+		if c.Spec.Groups > 1 {
+			if c.Spec.Groups != c.Spec.InC || c.Spec.InC != c.Spec.OutC {
+				t.Fatalf("depthwise conv %s has inconsistent groups: %+v", c.Name, c.Spec)
+			}
+			dw++
+		}
+	}
+	if dw != 13 {
+		t.Fatalf("MobileNetV1 depthwise count = %d, want 13", dw)
+	}
+}
+
+func TestModelsAreDeterministic(t *testing.T) {
+	a := evalModel(t, ResNet18(1, 32, 10, 42), tensor.Shape{1, 3, 32, 32}, 7)
+	b := evalModel(t, ResNet18(1, 32, 10, 42), tensor.Shape{1, 3, 32, 32}, 7)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed must give identical models and outputs")
+	}
+	c := evalModel(t, ResNet18(1, 32, 10, 43), tensor.Shape{1, 3, 32, 32}, 7)
+	if tensor.MaxAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds should give different weights")
+	}
+}
+
+func TestModelsSurviveOptimize(t *testing.T) {
+	for _, m := range Zoo(32) {
+		g := m.Build(1, 11)
+		if err := g.InferShapes(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		inShape := g.In.OutShape.Clone()
+		r := tensor.NewRNG(12)
+		in := tensor.New(inShape...)
+		tensor.FillGaussian(in, r, 1)
+		before, err := graph.Eval(g, in)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := graph.Optimize(g); err != nil {
+			t.Fatalf("%s: optimize: %v", m.Name, err)
+		}
+		after, err := graph.Eval(g, in)
+		if err != nil {
+			t.Fatalf("%s: eval after optimize: %v", m.Name, err)
+		}
+		if !tensor.AllClose(after, before, 1e-3, 1e-3) {
+			t.Fatalf("%s: optimization changed output, max diff %v",
+				m.Name, tensor.MaxAbsDiff(after, before))
+		}
+	}
+}
+
+func TestZooReturnsFiveModels(t *testing.T) {
+	if got := len(Zoo(32)); got != 5 {
+		t.Fatalf("Zoo size = %d, want 5", got)
+	}
+}
+
+func TestResNet18RejectsBadInputSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple-of-32 input")
+		}
+	}()
+	ResNet18(1, 33, 10, 1)
+}
+
+func TestSqueezeNetForward(t *testing.T) {
+	g := SqueezeNet(1, 32, 10, 12)
+	out := evalModel(t, g, tensor.Shape{1, 3, 32, 32}, 13)
+	assertProbabilities(t, out, 10)
+}
+
+func TestSqueezeNetStructure(t *testing.T) {
+	g := SqueezeNet(1, 32, 10, 12)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	// Stem + 8 fires × 3 convs + head = 26 convolutions.
+	if got := len(ConvLayers(g)); got != 26 {
+		t.Fatalf("SqueezeNet conv count = %d, want 26", got)
+	}
+	concats := 0
+	for _, n := range g.Topo() {
+		if n.Kind == graph.OpConcat {
+			concats++
+		}
+	}
+	if concats != 8 {
+		t.Fatalf("SqueezeNet concat count = %d, want 8", concats)
+	}
+}
+
+func TestConcatEval(t *testing.T) {
+	g := graph.New("in", 1, 2, 2, 2)
+	a := g.ReLU(g.In, "a")
+	b := g.ReLU(g.In, "b")
+	g.SetOutput(g.Concat("cat", a, b))
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Out.OutShape.Equal(tensor.Shape{1, 4, 2, 2}) {
+		t.Fatalf("concat shape = %v", g.Out.OutShape)
+	}
+	in := tensor.New(1, 2, 2, 2).Fill(3)
+	out, err := graph.Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Data() {
+		if v != 3 {
+			t.Fatalf("concat of two relu(3) tensors should be all 3: %v", out.Data())
+		}
+	}
+}
+
+func TestConcatShapeMismatchRejected(t *testing.T) {
+	g := graph.New("in", 1, 2, 4, 4)
+	a := g.ReLU(g.In, "a")
+	p := g.MaxPool(g.In, "pool", graph.PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2})
+	g.SetOutput(g.Concat("cat", a, p))
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("concat of mismatched spatial dims must be rejected")
+	}
+}
+
+func TestZooModelsSerializeRoundTrip(t *testing.T) {
+	// Every zoo model must survive the binary model format with identical
+	// outputs.
+	for _, m := range Zoo(32) {
+		g := m.Build(1, 21)
+		if err := g.InferShapes(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("%s: write: %v", m.Name, err)
+		}
+		back, err := graph.ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", m.Name, err)
+		}
+		r := tensor.NewRNG(22)
+		in := tensor.New(g.In.OutShape...)
+		tensor.FillGaussian(in, r, 1)
+		want, err := graph.Eval(g, in)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got, err := graph.Eval(back, in)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if tensor.MaxAbsDiff(got, want) != 0 {
+			t.Fatalf("%s: loaded model diverges", m.Name)
+		}
+	}
+}

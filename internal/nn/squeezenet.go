@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// fire appends a SqueezeNet fire module: a 1×1 squeeze convolution
+// followed by parallel 1×1 and 3×3 expand convolutions whose outputs are
+// concatenated along channels.
+func (b *builderState) fire(g *graph.Graph, x *graph.Node, name string, inC, squeeze, expand1, expand3 int) *graph.Node {
+	sq := tensor.ConvSpec{InC: inC, OutC: squeeze, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	ws, bs := b.convWeights(sq)
+	s := g.ReLU(g.Conv(x, name+".squeeze", sq, ws, bs), name+".squeeze.relu")
+
+	e1 := tensor.ConvSpec{InC: squeeze, OutC: expand1, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	w1, b1 := b.convWeights(e1)
+	x1 := g.ReLU(g.Conv(s, name+".expand1x1", e1, w1, b1), name+".expand1x1.relu")
+
+	e3 := tensor.ConvSpec{InC: squeeze, OutC: expand3, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w3, b3 := b.convWeights(e3)
+	x3 := g.ReLU(g.Conv(s, name+".expand3x3", e3, w3, b3), name+".expand3x3.relu")
+
+	return g.Concat(name+".concat", x1, x3)
+}
+
+// SqueezeNet builds a SqueezeNet-v1.1-style network (fire modules with
+// channel concatenation) for [batch, 3, hw, hw] inputs. hw must be a
+// multiple of 32.
+func SqueezeNet(batch, hw, classes int, seed uint64) *graph.Graph {
+	if hw%32 != 0 {
+		panic(fmt.Sprintf("nn: SqueezeNet input size %d must be a multiple of 32", hw))
+	}
+	b := &builderState{r: tensor.NewRNG(seed)}
+	g := graph.New("input", batch, 3, hw, hw)
+	stem := tensor.ConvSpec{InC: 3, OutC: 64, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	ws, bs := b.convWeights(stem)
+	x := g.ReLU(g.Conv(g.In, "conv1", stem, ws, bs), "conv1.relu")
+	pool := graph.PoolAttrs{KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	x = g.MaxPool(x, "pool1", pool)
+
+	x = b.fire(g, x, "fire2", 64, 16, 64, 64)
+	x = b.fire(g, x, "fire3", 128, 16, 64, 64)
+	x = g.MaxPool(x, "pool3", pool)
+	x = b.fire(g, x, "fire4", 128, 32, 128, 128)
+	x = b.fire(g, x, "fire5", 256, 32, 128, 128)
+	x = g.MaxPool(x, "pool5", pool)
+	x = b.fire(g, x, "fire6", 256, 48, 192, 192)
+	x = b.fire(g, x, "fire7", 384, 48, 192, 192)
+	x = b.fire(g, x, "fire8", 384, 64, 256, 256)
+	x = b.fire(g, x, "fire9", 512, 64, 256, 256)
+
+	head := tensor.ConvSpec{InC: 512, OutC: classes, KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+	wh, bh := b.convWeights(head)
+	x = g.ReLU(g.Conv(x, "conv10", head, wh, bh), "conv10.relu")
+	x = g.GlobalAvgPool(x, "gap")
+	x = g.Flatten(x, "flatten")
+	g.SetOutput(g.Softmax(x, "softmax"))
+	return g
+}

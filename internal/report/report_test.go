@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFprintAligned(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "2")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "a") || !strings.Contains(lines[4], "longer-name") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if tb.NumRows() != 1 {
+		t.Fatal("row not added")
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf) // must not panic
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestFigureFprint(t *testing.T) {
+	f := NewFigure("Fig", "bits")
+	f.Add(Series{Name: "ipe", X: []float64{2, 4, 8}, Y: []float64{3.2, 2.1, 1.1}})
+	f.Add(Series{Name: "dense", X: []float64{2, 4, 8}, Y: []float64{1, 1, 1}})
+	var buf bytes.Buffer
+	f.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"bits", "ipe", "dense", "3.200", "2", "4", "8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureUnevenSeries(t *testing.T) {
+	f := NewFigure("Fig", "x")
+	f.Add(Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}})
+	f.Add(Series{Name: "b", X: []float64{2, 3}, Y: []float64{200, 300}})
+	var buf bytes.Buffer
+	f.Fprint(&buf) // union of X = {1,2,3}; must not panic
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 6 { // title + header + sep + 3 rows
+		t.Fatalf("expected 6 lines, got %d:\n%s", lines, buf.String())
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.500",
+		0.0001: "1.000e-04",
+		-2:     "-2",
+	}
+	for in, want := range cases {
+		if got := Num(in); got != want {
+			t.Errorf("Num(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpeedupBytesCount(t *testing.T) {
+	if Speedup(2.416) != "2.42x" {
+		t.Fatal(Speedup(2.416))
+	}
+	if Bytes(2048) != "2.00 KiB" || Bytes(3<<20) != "3.00 MiB" || Bytes(5) != "5 B" {
+		t.Fatal("Bytes formatting wrong")
+	}
+	if Count(1500) != "1.50K" || Count(2_500_000) != "2.50M" || Count(7) != "7" {
+		t.Fatal("Count formatting wrong")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("Fig", "x")
+	f.Add(Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}})
+	var buf bytes.Buffer
+	f.CSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "x,a") || !strings.Contains(out, "1,10") {
+		t.Fatalf("figure CSV malformed:\n%s", out)
+	}
+}

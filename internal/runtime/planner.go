@@ -1,0 +1,168 @@
+// Package runtime is the INSPIRE inference engine: it compiles an optimized
+// graph into an execution plan — choosing, per operator, the fastest
+// implementation among dense, CSR-sparse, value-factorized and index-pair
+// encoded kernels according to the simulated accelerator (system-level
+// exploration) — plans activation memory with a liveness-based arena
+// allocator, and executes the plan on the CPU while accumulating the
+// modeled cycles and energy.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Allocation is one activation buffer's placement in the arena.
+type Allocation struct {
+	// Offset is the buffer's byte offset in the arena.
+	Offset int64
+	// Size is the buffer's byte size.
+	Size int64
+}
+
+// End returns the first byte past the allocation.
+func (a Allocation) End() int64 { return a.Offset + a.Size }
+
+// arena is a first-fit free-list allocator over a growable address space.
+type arena struct {
+	free []Allocation // sorted by offset, coalesced
+	high int64        // high-water mark
+}
+
+func (a *arena) alloc(size int64) int64 {
+	for i, f := range a.free {
+		if f.Size >= size {
+			off := f.Offset
+			if f.Size == size {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = Allocation{Offset: f.Offset + size, Size: f.Size - size}
+			}
+			return off
+		}
+	}
+	off := a.high
+	a.high += size
+	return off
+}
+
+func (a *arena) release(alloc Allocation) {
+	a.free = append(a.free, alloc)
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].Offset < a.free[j].Offset })
+	// Coalesce adjacent runs.
+	out := a.free[:0]
+	for _, f := range a.free {
+		if n := len(out); n > 0 && out[n-1].End() == f.Offset {
+			out[n-1].Size += f.Size
+		} else {
+			out = append(out, f)
+		}
+	}
+	a.free = out
+}
+
+// PlanMemory assigns arena offsets to the output buffers of every
+// non-input, non-constant node in the topological order, reusing the space
+// of buffers whose last consumer has executed. It returns the allocation
+// map (keyed by node ID) and the total arena size in bytes. Shapes must
+// already be inferred.
+func PlanMemory(g *graph.Graph) (map[int]Allocation, int64, error) {
+	order := g.Topo()
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	// lastUse[n] = topo index of n's final consumer; the graph output
+	// lives to the end.
+	lastUse := make(map[*graph.Node]int, len(order))
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[n] > lastUse[in] {
+				lastUse[in] = pos[n]
+			}
+		}
+	}
+	lastUse[g.Out] = len(order)
+
+	plans := make(map[int]Allocation)
+	var a arena
+	// expiring[i] lists allocations to release after step i executes.
+	expiring := make(map[int][]Allocation)
+	for i, n := range order {
+		// Release buffers whose last use was an earlier step.
+		for _, al := range expiring[i] {
+			a.release(al)
+		}
+		delete(expiring, i)
+		if n.Kind == graph.OpInput || n.Kind == graph.OpConst {
+			continue
+		}
+		if !n.OutShape.Valid() {
+			return nil, 0, fmt.Errorf("runtime: %s has no inferred shape; run InferShapes first", n)
+		}
+		size := int64(n.OutShape.NumElements()) * 4
+		al := Allocation{Offset: a.alloc(size), Size: size}
+		plans[n.ID] = al
+		lu := lastUse[n]
+		if lu < i {
+			lu = i // produced but never consumed
+		}
+		// Free after the last consumer has *executed*, i.e. at the start
+		// of the following step, so the consumer can still read it and a
+		// node's output never aliases its own inputs.
+		expiring[lu+1] = append(expiring[lu+1], al)
+	}
+	return plans, a.high, nil
+}
+
+// ValidatePlan checks that no two simultaneously live buffers overlap and
+// that every buffer fits in the arena — the planner's safety invariant,
+// exposed for tests and for `inspire-sim -check`.
+func ValidatePlan(g *graph.Graph, plans map[int]Allocation, arenaBytes int64) error {
+	order := g.Topo()
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	lastUse := make(map[*graph.Node]int, len(order))
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[n] > lastUse[in] {
+				lastUse[in] = pos[n]
+			}
+		}
+	}
+	lastUse[g.Out] = len(order)
+	type live struct {
+		n     *graph.Node
+		birth int
+		death int
+		al    Allocation
+	}
+	var all []live
+	for _, n := range order {
+		al, ok := plans[n.ID]
+		if !ok {
+			continue
+		}
+		if al.Offset < 0 || al.End() > arenaBytes {
+			return fmt.Errorf("runtime: %s allocation [%d,%d) outside arena of %d bytes",
+				n, al.Offset, al.End(), arenaBytes)
+		}
+		all = append(all, live{n, pos[n], lastUse[n], al})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			overlapTime := a.birth <= b.death && b.birth <= a.death
+			overlapSpace := a.al.Offset < b.al.End() && b.al.Offset < a.al.End()
+			if overlapTime && overlapSpace {
+				return fmt.Errorf("runtime: live buffers overlap: %s [%d,%d) and %s [%d,%d)",
+					a.n, a.al.Offset, a.al.End(), b.n, b.al.Offset, b.al.End())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,616 @@
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/autotune"
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/ipe"
+	"repro/internal/quant"
+	"repro/internal/report"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// Impl identifies an operator implementation strategy.
+type Impl int
+
+// Implementation strategies for conv/dense operators.
+const (
+	// ImplAuto lets the compiler pick the fastest candidate per operator
+	// (system-level exploration).
+	ImplAuto Impl = iota
+	// ImplDense is the dense im2col/GEMM kernel over float weights.
+	ImplDense
+	// ImplCSR is compressed-sparse-row execution over quantized weights.
+	ImplCSR
+	// ImplFactorized is UCNN-style value-factorized execution.
+	ImplFactorized
+	// ImplIPE is index-pair encoded execution (the paper's contribution).
+	ImplIPE
+	// ImplWinograd is Winograd F(2x2,3x3) dense execution; only available
+	// for dense 3x3 stride-1 convolutions, so forcing it falls back to
+	// ImplDense elsewhere.
+	ImplWinograd
+)
+
+var implNames = map[Impl]string{
+	ImplAuto: "auto", ImplDense: "dense", ImplCSR: "csr",
+	ImplFactorized: "factorized", ImplIPE: "ipe", ImplWinograd: "winograd",
+}
+
+// String returns the implementation's short name.
+func (im Impl) String() string {
+	if s, ok := implNames[im]; ok {
+		return s
+	}
+	return fmt.Sprintf("Impl(%d)", int(im))
+}
+
+// Options configures compilation.
+type Options struct {
+	// Bits is the weight quantization bit-width for the encoded
+	// implementations (default 4).
+	Bits int
+	// Scheme is the quantization granularity (default per-channel).
+	Scheme quant.Scheme
+	// IPE configures the index-pair encoder (default ipe.DefaultConfig).
+	IPE ipe.Config
+	// HW is the accelerator model (default accel.Default).
+	HW accel.Config
+	// Force pins every conv/dense operator to one implementation;
+	// ImplAuto (zero value) selects per operator by simulated cycles.
+	Force Impl
+	// TuneDense auto-tunes the dense schedule per conv layer instead of
+	// using the default heuristic schedule.
+	TuneDense bool
+	// Tuner and TuneBudget control dense-schedule search (default
+	// genetic, 64 trials).
+	Tuner      autotune.Tuner
+	TuneBudget int
+	// Cache reuses tuning results across identically-shaped layers.
+	Cache *autotune.Cache
+	// Seed drives the tuner.
+	Seed uint64
+	// Workers bounds the compilation parallelism (per-operator encoding
+	// and candidate simulation are independent). 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bits == 0 {
+		o.Bits = 4
+	}
+	if o.IPE == (ipe.Config{}) {
+		o.IPE = ipe.DefaultConfig()
+	}
+	if o.HW.PEs == 0 {
+		o.HW = accel.Default()
+	}
+	if o.Tuner == nil {
+		o.Tuner = autotune.Genetic{}
+	}
+	if o.TuneBudget == 0 {
+		o.TuneBudget = 64
+	}
+	if o.Cache == nil {
+		o.Cache = autotune.NewCache()
+	}
+	return o
+}
+
+// CompiledOp is one operator of an execution plan.
+type CompiledOp struct {
+	Node *graph.Node
+	// Impl is the chosen implementation (ImplDense for non-conv/dense
+	// operators is meaningless; they report ImplDense for uniformity).
+	Impl Impl
+	// Sim is the modeled execution of the chosen implementation.
+	Sim accel.Result
+	// Candidates maps every evaluated implementation to its modeled
+	// execution, for the per-layer reports.
+	Candidates map[Impl]accel.Result
+
+	ipeConv   *ipe.ConvLayer
+	ipeDense  *ipe.DenseLayer
+	csrConv   *baseline.ConvCSR
+	csrDense  *baseline.CSR
+	factConv  *baseline.ConvFactorized
+	factDense *baseline.Factorized
+	winConv   *baseline.ConvWinograd
+	denseBias *tensor.Tensor
+}
+
+// Plan is a compiled, memory-planned, implementation-selected graph.
+type Plan struct {
+	Graph *graph.Graph
+	Ops   []CompiledOp
+	// Alloc maps node IDs to arena placements; ArenaBytes is the arena
+	// size.
+	Alloc      map[int]Allocation
+	ArenaBytes int64
+	// Total is the modeled whole-network execution.
+	Total accel.Result
+	Opts  Options
+}
+
+// Compile optimizes g in place, plans memory, builds every candidate
+// implementation for each conv/dense operator, simulates them on the
+// accelerator model, and selects per-operator winners.
+func Compile(g *graph.Graph, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	if err := graph.Optimize(g); err != nil {
+		return nil, err
+	}
+	alloc, arenaBytes, err := PlanMemory(g)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Graph: g, Alloc: alloc, ArenaBytes: arenaBytes, Opts: opts}
+	var nodes []*graph.Node
+	for _, n := range g.Topo() {
+		if n.Kind != graph.OpInput && n.Kind != graph.OpConst {
+			nodes = append(nodes, n)
+		}
+	}
+	// Per-operator compilation (encoding, candidate simulation, tuning) is
+	// independent across nodes; fan it out over a bounded worker pool and
+	// keep the result order deterministic.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ops := make([]CompiledOp, len(nodes))
+	errs := make([]error, len(nodes))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ops[i], errs[i] = compileNode(nodes[i], opts)
+			}
+		}()
+	}
+	for i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runtime: compiling %s: %w", nodes[i], err)
+		}
+	}
+	p.Ops = ops
+	for i := range p.Ops {
+		p.Total.Accumulate(p.Ops[i].Sim)
+	}
+	return p, nil
+}
+
+func compileNode(n *graph.Node, opts Options) (CompiledOp, error) {
+	switch n.Kind {
+	case graph.OpConv:
+		return compileConv(n, opts)
+	case graph.OpDense:
+		return compileDense(n, opts)
+	default:
+		return compileGeneric(n, opts), nil
+	}
+}
+
+// denseConvSim simulates the dense conv either with the default heuristic
+// schedule or an auto-tuned one.
+func denseConvSim(w schedule.Workload, opts Options) accel.Result {
+	sp := schedule.NewSpace(w, opts.HW)
+	if !opts.TuneDense {
+		// Heuristic default: largest legal power-of-two-ish tile from the
+		// top of each option list.
+		best := accel.Result{Cycles: 1 << 62}
+		found := false
+		for _, idx := range [][]int{
+			{len(sp.OCOpts) - 1, 0, len(sp.OWOpts) - 1, len(sp.ICOpts) - 1, 0, 0},
+			{len(sp.OCOpts) - 1, 0, len(sp.OWOpts) - 1, len(sp.ICOpts) - 1, 0, 1},
+			{len(sp.OCOpts) / 2, 0, len(sp.OWOpts) - 1, len(sp.ICOpts) / 2, 0, 0},
+			{0, 0, len(sp.OWOpts) - 1, 0, 0, 0},
+			{0, 0, 0, 0, 0, 0},
+		} {
+			if res, err := sp.At(idx).Simulate(w, opts.HW); err == nil {
+				found = true
+				if res.Cycles < best.Cycles {
+					best = res
+				}
+			}
+		}
+		if found {
+			return best
+		}
+	}
+	run := func() autotune.Result {
+		return opts.Tuner.Tune(sp, opts.TuneBudget, opts.Seed)
+	}
+	var r autotune.Result
+	if opts.TuneDense {
+		r = opts.Cache.GetOrTune(w.Key(), run)
+	} else {
+		r = run()
+	}
+	if r.BestIdx == nil {
+		// No legal schedule (pathological SRAM config): fall back to the
+		// roofline profile.
+		return opts.HW.Simulate(accel.DenseConvProfile(w.Spec, w.N, w.H, w.W))
+	}
+	res, err := sp.At(r.BestIdx).Simulate(w, opts.HW)
+	if err != nil {
+		return opts.HW.Simulate(accel.DenseConvProfile(w.Spec, w.N, w.H, w.W))
+	}
+	return res
+}
+
+// wants reports whether implementation im must be built given the Force
+// option: all candidates under auto selection, only the forced one
+// otherwise.
+func wants(force, im Impl) bool { return force == ImplAuto || force == im }
+
+func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
+	spec := n.Attrs.Conv
+	in := n.Inputs[0].OutShape
+	wl := schedule.Workload{Spec: spec, N: in[0], H: in[2], W: in[3]}
+	weight, bias := n.Param("weight"), n.Param("bias")
+
+	op := CompiledOp{Node: n, Candidates: make(map[Impl]accel.Result)}
+
+	if wants(opts.Force, ImplDense) {
+		// Dense candidate (float weights, scheduled).
+		op.Candidates[ImplDense] = denseConvSim(wl, opts)
+	}
+	if wants(opts.Force, ImplCSR) {
+		csr, err := baseline.NewConvCSR(weight, bias, spec, opts.Bits, opts.Scheme)
+		if err != nil {
+			return op, err
+		}
+		op.csrConv = csr
+		op.Candidates[ImplCSR] = opts.HW.Simulate(
+			accel.SparseConvProfile(spec, wl.N, wl.H, wl.W, csr.NNZ()))
+	}
+	if wants(opts.Force, ImplFactorized) {
+		fact, err := baseline.NewConvFactorized(weight, bias, spec, opts.Bits, opts.Scheme)
+		if err != nil {
+			return op, err
+		}
+		op.factConv = fact
+		var factSyms int
+		for _, m := range fact.Mats {
+			factSyms += m.K
+		}
+		op.Candidates[ImplFactorized] = opts.HW.Simulate(
+			accel.FactorizedConvProfile(spec, wl.N, wl.H, wl.W, fact.Cost(), factSyms))
+	}
+	if wants(opts.Force, ImplIPE) {
+		ipeL, _, err := ipe.EncodeConv(weight, bias, spec, opts.Bits, opts.Scheme, opts.IPE)
+		if err != nil {
+			return op, err
+		}
+		op.ipeConv = ipeL
+		op.Candidates[ImplIPE] = opts.HW.Simulate(accel.IPEConvProfile(ipeL, wl.N, wl.H, wl.W))
+	}
+	if wants(opts.Force, ImplWinograd) {
+		if win, err := baseline.NewConvWinograd(weight, bias, spec); err == nil {
+			op.winConv = win
+			op.Candidates[ImplWinograd] = opts.HW.Simulate(
+				accel.WinogradConvProfile(spec, wl.N, wl.H, wl.W, win.Cost(wl.N, wl.H, wl.W)))
+		} else if opts.Force == ImplWinograd {
+			// Winograd does not apply (kernel/stride/groups): fall back to
+			// the dense schedule so a forced-winograd plan stays runnable.
+			op.Candidates[ImplDense] = denseConvSim(wl, opts)
+		}
+	}
+	op.Impl = chooseImpl(op.Candidates, opts.Force)
+	op.Sim = op.Candidates[op.Impl]
+	return op, nil
+}
+
+func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
+	weight, bias := n.Param("weight"), n.Param("bias")
+	m, k := weight.Dim(0), weight.Dim(1)
+	batch := n.Inputs[0].OutShape[0]
+	op := CompiledOp{Node: n, Candidates: make(map[Impl]accel.Result), denseBias: bias}
+
+	scaleCost := func(c ipe.Cost) ipe.Cost {
+		c.Adds *= int64(batch)
+		c.Muls *= int64(batch)
+		return c
+	}
+	toProfile := func(name string, c ipe.Cost, weightBytes int64) accel.KernelProfile {
+		actBytes := int64(batch*(m+k)) * 4
+		return accel.KernelProfile{
+			Name: name, Adds: c.Adds, Muls: c.Muls,
+			SRAMAccesses:    2 * (c.Adds + c.Muls),
+			DRAMBytes:       weightBytes + actBytes,
+			WorkingSetBytes: weightBytes,
+		}
+	}
+	if wants(opts.Force, ImplDense) || opts.Force == ImplWinograd {
+		// Winograd has no dense-FC form; a forced-winograd plan runs its
+		// fully connected layers dense.
+		op.Candidates[ImplDense] = opts.HW.Simulate(
+			toProfile("dense", scaleCost(ipe.DenseCost(m, k)), int64(m*k)*4))
+	}
+	if wants(opts.Force, ImplCSR) || wants(opts.Force, ImplFactorized) {
+		q := quant.Quantize(weight, opts.Bits, opts.Scheme)
+		if wants(opts.Force, ImplCSR) {
+			csr := baseline.NewCSRFromQuantized(q)
+			op.csrDense = csr
+			op.Candidates[ImplCSR] = opts.HW.Simulate(
+				toProfile("csr", scaleCost(csr.Cost()), int64(csr.NNZ())*6))
+		}
+		if wants(opts.Force, ImplFactorized) {
+			fact := baseline.NewFactorized(q)
+			op.factDense = fact
+			op.Candidates[ImplFactorized] = opts.HW.Simulate(
+				toProfile("factorized", scaleCost(fact.Cost()), fact.StreamSymbols()*2))
+		}
+	}
+	if wants(opts.Force, ImplIPE) {
+		ipeL, _, err := ipe.EncodeDense(weight, bias, opts.Bits, opts.Scheme, opts.IPE)
+		if err != nil {
+			return op, err
+		}
+		op.ipeDense = ipeL
+		ic := ipeL.Program.Cost()
+		op.Candidates[ImplIPE] = opts.HW.Simulate(
+			toProfile("ipe", scaleCost(ic), ic.StreamSymbols*2+int64(ipeL.Program.DictSize())*4))
+	}
+	op.Impl = chooseImpl(op.Candidates, opts.Force)
+	op.Sim = op.Candidates[op.Impl]
+	return op, nil
+}
+
+// compileGeneric models every other operator as elementwise/windowed work.
+func compileGeneric(n *graph.Node, opts Options) CompiledOp {
+	outElems := int64(n.OutShape.NumElements())
+	var inElems int64
+	for _, in := range n.Inputs {
+		inElems += int64(in.OutShape.NumElements())
+	}
+	ops := outElems
+	switch n.Kind {
+	case graph.OpMaxPool, graph.OpAvgPool:
+		ops = outElems * int64(n.Attrs.Pool.KH*n.Attrs.Pool.KW)
+	case graph.OpGlobalAvgPool:
+		ops = inElems
+	case graph.OpBatchNorm:
+		ops = 2 * outElems
+	case graph.OpSoftmax:
+		ops = 4 * outElems
+	case graph.OpFlatten:
+		ops = 0
+	}
+	prof := accel.KernelProfile{
+		Name: n.Kind.String(), Adds: ops,
+		SRAMAccesses: inElems + outElems,
+		DRAMBytes:    (inElems + outElems) * 4,
+	}
+	sim := opts.HW.Simulate(prof)
+	return CompiledOp{
+		Node: n, Impl: ImplDense, Sim: sim,
+		Candidates: map[Impl]accel.Result{ImplDense: sim},
+	}
+}
+
+func chooseImpl(cands map[Impl]accel.Result, force Impl) Impl {
+	if force != ImplAuto {
+		if _, ok := cands[force]; ok {
+			return force
+		}
+		// The forced implementation does not apply to this operator (e.g.
+		// winograd on a strided conv): fall through to whatever fallback
+		// candidate was built.
+	}
+	best, bestCycles := ImplDense, int64(1)<<62
+	for _, im := range []Impl{ImplDense, ImplWinograd, ImplCSR, ImplFactorized, ImplIPE} {
+		if r, ok := cands[im]; ok && r.Cycles < bestCycles {
+			best, bestCycles = im, r.Cycles
+		}
+	}
+	return best
+}
+
+// Run executes the plan on the CPU. Activations live in a single arena
+// laid out by the memory planner; the chosen implementation computes each
+// conv/dense operator, so the numerical output reflects the selected
+// (possibly quantized) kernels.
+func (p *Plan) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
+	g := p.Graph
+	if !input.Shape().Equal(g.In.OutShape) {
+		return nil, fmt.Errorf("runtime: input shape %v != declared %v", input.Shape(), g.In.OutShape)
+	}
+	arena := make([]float32, p.ArenaBytes/4)
+	vals := make(map[*graph.Node]*tensor.Tensor)
+	vals[g.In] = input
+	ops := make(map[*graph.Node]*CompiledOp, len(p.Ops))
+	for i := range p.Ops {
+		ops[p.Ops[i].Node] = &p.Ops[i]
+	}
+	for _, n := range g.Topo() {
+		if n.Kind == graph.OpInput {
+			continue
+		}
+		if n.Kind == graph.OpConst {
+			vals[n] = n.Value
+			continue
+		}
+		op := ops[n]
+		out, err := p.runOp(op, n, vals)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: executing %s: %w", n, err)
+		}
+		if n.Attrs.FusedReLU && n.Kind != graph.OpConv && n.Kind != graph.OpDense {
+			out = tensor.ReLU(out)
+		}
+		// Copy into the planned arena slot so the planner's aliasing
+		// guarantees are exercised by real execution.
+		al, ok := p.Alloc[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("runtime: no allocation for %s", n)
+		}
+		buf := arena[al.Offset/4 : al.End()/4]
+		copy(buf, out.Data())
+		vals[n] = tensor.From(buf, out.Shape()...)
+	}
+	return vals[g.Out], nil
+}
+
+func (p *Plan) runOp(op *CompiledOp, n *graph.Node, vals map[*graph.Node]*tensor.Tensor) (*tensor.Tensor, error) {
+	ins := make([]*tensor.Tensor, len(n.Inputs))
+	for i, in := range n.Inputs {
+		ins[i] = vals[in]
+	}
+	var out *tensor.Tensor
+	switch {
+	case n.Kind == graph.OpConv && op.Impl == ImplCSR:
+		out = op.csrConv.Forward(ins[0])
+	case n.Kind == graph.OpConv && op.Impl == ImplFactorized:
+		out = op.factConv.Forward(ins[0])
+	case n.Kind == graph.OpConv && op.Impl == ImplIPE:
+		out = op.ipeConv.Forward(ins[0])
+	case n.Kind == graph.OpConv && op.Impl == ImplWinograd:
+		out = op.winConv.Forward(ins[0])
+	case n.Kind == graph.OpDense && op.Impl == ImplCSR:
+		out = denseViaMatVec(ins[0], op.csrDense.MatVec, op.csrDense.M, op.denseBias)
+	case n.Kind == graph.OpDense && op.Impl == ImplFactorized:
+		out = denseViaMatVec(ins[0], op.factDense.MatVec, op.factDense.M, op.denseBias)
+	case n.Kind == graph.OpDense && op.Impl == ImplIPE:
+		out = op.ipeDense.Forward(ins[0])
+	default:
+		var err error
+		out, err = graph.EvalNode(n, ins)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil // EvalNode already applied FusedReLU
+	}
+	if n.Attrs.FusedReLU {
+		out = tensor.ReLU(out)
+	}
+	return out, nil
+}
+
+func denseViaMatVec(in *tensor.Tensor, matvec func(x, y []float32), m int, bias *tensor.Tensor) *tensor.Tensor {
+	n, k := in.Dim(0), in.Dim(1)
+	out := tensor.New(n, m)
+	for b := 0; b < n; b++ {
+		matvec(in.Data()[b*k:(b+1)*k], out.Data()[b*m:(b+1)*m])
+	}
+	if bias != nil {
+		bd := bias.Data()
+		od := out.Data()
+		for b := 0; b < n; b++ {
+			for i := 0; i < m; i++ {
+				od[b*m+i] += bd[i]
+			}
+		}
+	}
+	return out
+}
+
+// ImplCounts tallies how many conv/dense operators chose each
+// implementation — the "system-level exploration" summary.
+func (p *Plan) ImplCounts() map[Impl]int {
+	counts := make(map[Impl]int)
+	for _, op := range p.Ops {
+		if op.Node.Kind == graph.OpConv || op.Node.Kind == graph.OpDense {
+			counts[op.Impl]++
+		}
+	}
+	return counts
+}
+
+// RunBatch executes the plan over a batch larger than the graph's compiled
+// batch by slicing the input along dimension 0 into compiled-batch chunks
+// and running them on parallel workers. Each worker owns a private arena
+// (Run allocates per call), so execution is safe and deterministic. The
+// input batch must be a multiple of the compiled batch.
+func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	compiled := p.Graph.In.OutShape[0]
+	total := input.Dim(0)
+	if total%compiled != 0 {
+		return nil, fmt.Errorf("runtime: batch %d is not a multiple of the compiled batch %d", total, compiled)
+	}
+	inShape := p.Graph.In.OutShape
+	perChunk := input.NumElements() / (total / compiled)
+	chunks := total / compiled
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	outs := make([]*tensor.Tensor, chunks)
+	errs := make([]error, chunks)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				chunk := tensor.From(input.Data()[i*perChunk:(i+1)*perChunk], inShape...)
+				outs[i], errs[i] = p.Run(chunk)
+			}
+		}()
+	}
+	for i := 0; i < chunks; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Stitch chunk outputs along dim 0.
+	outShape := outs[0].Shape().Clone()
+	outShape[0] *= chunks
+	result := tensor.New(outShape...)
+	per := outs[0].NumElements()
+	for i, o := range outs {
+		copy(result.Data()[i*per:(i+1)*per], o.Data())
+	}
+	return result, nil
+}
+
+// Describe renders the plan as a report table: one row per conv/dense
+// operator with its chosen implementation and modeled execution, plus a
+// totals footer. This is what `inspire-sim` prints.
+func (p *Plan) Describe() *report.Table {
+	t := report.NewTable("execution plan",
+		"op", "kind", "impl", "cycles", "energy(uJ)", "DRAM")
+	for _, op := range p.Ops {
+		if op.Node.Kind != graph.OpConv && op.Node.Kind != graph.OpDense {
+			continue
+		}
+		t.AddRow(op.Node.Name, op.Node.Kind.String(), op.Impl.String(),
+			report.Count(op.Sim.Cycles),
+			report.Num(op.Sim.EnergyPJ/1e6),
+			report.Bytes(op.Sim.DRAMBytes))
+	}
+	t.AddRow("TOTAL", "", "",
+		report.Count(p.Total.Cycles),
+		report.Num(p.Total.EnergyPJ/1e6),
+		report.Bytes(p.Total.DRAMBytes))
+	return t
+}

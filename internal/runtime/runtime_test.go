@@ -1,0 +1,462 @@
+package runtime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ipe"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestPlanMemoryReusesBuffers(t *testing.T) {
+	// A linear chain should need only ~2 buffers' worth of arena, far less
+	// than the sum of all outputs.
+	g := graph.New("in", 1, 1, 16, 16)
+	x := g.In
+	for i := 0; i < 10; i++ {
+		x = g.ReLU(x, "r")
+	}
+	g.SetOutput(x)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	plans, arena, err := PlanMemory(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufBytes := int64(16*16) * 4
+	if arena > 2*bufBytes {
+		t.Fatalf("chain of 10 ReLUs should reuse: arena %d > 2 buffers %d", arena, 2*bufBytes)
+	}
+	if err := ValidatePlan(g, plans, arena); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanMemoryKeepsResidualAlive(t *testing.T) {
+	// Residual pattern: x feeds both a long chain and a late Add; x's
+	// buffer must stay allocated until the Add consumes it.
+	g := graph.New("in", 1, 8)
+	w := tensor.New(8, 8).Fill(0.1)
+	x := g.Dense(g.In, "pre", w, nil)
+	y := x
+	for i := 0; i < 5; i++ {
+		y = g.ReLU(y, "r")
+	}
+	g.SetOutput(g.Add(y, x, "res"))
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	plans, arena, err := PlanMemory(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(g, plans, arena); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanMemoryValidOnModelsProperty(t *testing.T) {
+	// The planner invariant must hold on every zoo model.
+	for _, m := range nn.Zoo(32) {
+		g := m.Build(1, 5)
+		if err := graph.Optimize(g); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		plans, arena, err := PlanMemory(g)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := ValidatePlan(g, plans, arena); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Arena must be smaller than the no-reuse sum.
+		var total int64
+		for _, al := range plans {
+			total += al.Size
+		}
+		if arena >= total && len(plans) > 3 {
+			t.Errorf("%s: planner achieved no reuse (arena %d, sum %d)", m.Name, arena, total)
+		}
+	}
+}
+
+func TestPlanMemoryRandomChainsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		g := graph.New("in", 1, 4, 8, 8)
+		nodes := []*graph.Node{g.In}
+		for i := 0; i < 3+r.Intn(10); i++ {
+			src := nodes[r.Intn(len(nodes))]
+			var n *graph.Node
+			if r.Intn(3) == 0 && len(nodes) > 1 {
+				other := nodes[r.Intn(len(nodes))]
+				if other.OutShape.Equal(src.OutShape) {
+					n = g.Add(src, other, "add")
+				} else {
+					n = g.ReLU(src, "relu")
+				}
+			} else {
+				n = g.ReLU(src, "relu")
+			}
+			n.OutShape = src.OutShape
+			nodes = append(nodes, n)
+		}
+		g.SetOutput(nodes[len(nodes)-1])
+		if err := g.InferShapes(); err != nil {
+			return false
+		}
+		plans, arena, err := PlanMemory(g)
+		if err != nil {
+			return false
+		}
+		return ValidatePlan(g, plans, arena) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lenetPlan(t *testing.T, opts Options) (*Plan, *tensor.Tensor) {
+	t.Helper()
+	g := nn.LeNet5(2, 7)
+	plan, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(8)
+	in := tensor.New(2, 1, 28, 28)
+	tensor.FillGaussian(in, r, 1)
+	return plan, in
+}
+
+func TestCompileAndRunDenseMatchesReference(t *testing.T) {
+	plan, in := lenetPlan(t, Options{Force: ImplDense})
+	got, err := plan.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := graph.Eval(plan.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatalf("dense plan diverges from reference: %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestRunQuantizedImplsCloseToReference(t *testing.T) {
+	// At 8 bits the quantized implementations should track the float
+	// reference closely on softmax outputs.
+	for _, force := range []Impl{ImplCSR, ImplFactorized, ImplIPE} {
+		plan, in := lenetPlan(t, Options{Force: force, Bits: 8})
+		got, err := plan.Run(in)
+		if err != nil {
+			t.Fatalf("%v: %v", force, err)
+		}
+		want, err := graph.Eval(plan.Graph, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(got, want, 0.05, 0.05) {
+			t.Fatalf("%v plan diverges: max diff %v", force, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestAutoSelectionPicksMinCycles(t *testing.T) {
+	plan, _ := lenetPlan(t, Options{Bits: 4})
+	for _, op := range plan.Ops {
+		if op.Node.Kind != graph.OpConv && op.Node.Kind != graph.OpDense {
+			continue
+		}
+		for im, r := range op.Candidates {
+			if r.Cycles < op.Sim.Cycles {
+				t.Fatalf("%s: auto chose %v (%d cycles) but %v has %d",
+					op.Node, op.Impl, op.Sim.Cycles, im, r.Cycles)
+			}
+		}
+	}
+}
+
+func TestForcePinsImplementation(t *testing.T) {
+	plan, _ := lenetPlan(t, Options{Force: ImplIPE})
+	counts := plan.ImplCounts()
+	total := 0
+	for im, c := range counts {
+		if im != ImplIPE && c > 0 {
+			t.Fatalf("forced IPE plan contains %v", im)
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no conv/dense ops compiled")
+	}
+}
+
+func TestPlanTotalsAccumulate(t *testing.T) {
+	plan, _ := lenetPlan(t, Options{Bits: 4})
+	var sum int64
+	for _, op := range plan.Ops {
+		sum += op.Sim.Cycles
+	}
+	if plan.Total.Cycles != sum {
+		t.Fatalf("Total.Cycles %d != per-op sum %d", plan.Total.Cycles, sum)
+	}
+	if plan.Total.EnergyPJ <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+}
+
+func TestRunRejectsWrongInput(t *testing.T) {
+	plan, _ := lenetPlan(t, Options{Force: ImplDense})
+	if _, err := plan.Run(tensor.New(1, 1, 28, 28)); err == nil {
+		t.Fatal("wrong input batch must be rejected")
+	}
+}
+
+func TestCompileResNetAutoHasIPEWins(t *testing.T) {
+	// On a 4-bit ResNet-18 at 32x32, auto selection should pick IPE for at
+	// least some layers — the system-level exploration claim.
+	g := nn.ResNet18(1, 32, 10, 9)
+	plan, err := Compile(g, Options{Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := plan.ImplCounts()
+	if counts[ImplIPE] == 0 {
+		t.Fatalf("expected some IPE selections, got %v", counts)
+	}
+	// And the plan must execute.
+	r := tensor.NewRNG(10)
+	in := tensor.New(1, 3, 32, 32)
+	tensor.FillGaussian(in, r, 1)
+	out, err := plan.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{1, 10}) {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+}
+
+func TestTunedDenseNotWorseThanHeuristic(t *testing.T) {
+	gH := nn.LeNet5(1, 3)
+	planH, err := Compile(gH, Options{Force: ImplDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gT := nn.LeNet5(1, 3)
+	planT, err := Compile(gT, Options{Force: ImplDense, TuneDense: true, TuneBudget: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planT.Total.Cycles > planH.Total.Cycles {
+		t.Fatalf("tuned dense (%d cycles) worse than heuristic (%d)",
+			planT.Total.Cycles, planH.Total.Cycles)
+	}
+}
+
+func TestImplString(t *testing.T) {
+	if ImplIPE.String() != "ipe" || Impl(42).String() != "Impl(42)" {
+		t.Fatal("impl names wrong")
+	}
+}
+
+func TestCompileDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Bits != 4 || o.HW.PEs == 0 || o.Tuner == nil || o.Cache == nil {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if o.IPE != ipe.DefaultConfig() {
+		t.Fatal("default IPE config not applied")
+	}
+}
+
+func TestWinogradImplMatchesReference(t *testing.T) {
+	// Force Winograd on a conv net: applicable 3x3/s1 convs run Winograd,
+	// everything else falls back to dense; output must track the float
+	// reference closely (Winograd is exact dense math up to rounding).
+	g := nn.ResNet18(1, 32, 10, 4)
+	plan, err := Compile(g, Options{Force: ImplWinograd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := plan.ImplCounts()
+	if counts[ImplWinograd] == 0 {
+		t.Fatalf("no winograd selections on ResNet-18: %v", counts)
+	}
+	if counts[ImplDense] == 0 {
+		t.Fatalf("strided/1x1 convs should fall back to dense: %v", counts)
+	}
+	r := tensor.NewRNG(5)
+	in := tensor.New(1, 3, 32, 32)
+	tensor.FillGaussian(in, r, 1)
+	got, err := plan.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := graph.Eval(plan.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, want, 1e-2, 1e-2) {
+		t.Fatalf("winograd plan diverges: %v", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestAutoConsidersWinograd(t *testing.T) {
+	// In auto mode the winograd candidate must be present for applicable
+	// convs (whether or not it wins).
+	g := nn.ResNet18(1, 32, 10, 6)
+	plan, err := Compile(g, Options{Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, op := range plan.Ops {
+		if op.Node.Kind != graph.OpConv {
+			continue
+		}
+		s := op.Node.Attrs.Conv
+		if s.KH == 3 && s.StrideH == 1 && s.Groups <= 1 {
+			if _, ok := op.Candidates[ImplWinograd]; !ok {
+				t.Fatalf("%s: 3x3/s1 conv missing winograd candidate", op.Node)
+			}
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("no applicable convs found")
+	}
+}
+
+func TestParallelCompileDeterministic(t *testing.T) {
+	// The worker-pool compile must give identical plans regardless of
+	// worker count.
+	build := func(workers int) *Plan {
+		g := nn.ResNet18(1, 32, 10, 13)
+		plan, err := Compile(g, Options{Bits: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	a := build(1)
+	b := build(8)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Impl != b.Ops[i].Impl || a.Ops[i].Sim.Cycles != b.Ops[i].Sim.Cycles {
+			t.Fatalf("op %d differs across worker counts: %v/%d vs %v/%d",
+				i, a.Ops[i].Impl, a.Ops[i].Sim.Cycles, b.Ops[i].Impl, b.Ops[i].Sim.Cycles)
+		}
+	}
+	if a.Total.Cycles != b.Total.Cycles {
+		t.Fatalf("totals differ: %d vs %d", a.Total.Cycles, b.Total.Cycles)
+	}
+}
+
+func TestRunBatchMatchesSequential(t *testing.T) {
+	g := nn.LeNet5(2, 7)
+	plan, err := Compile(g, Options{Force: ImplDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(20)
+	big := tensor.New(8, 1, 28, 28) // 4 chunks of the compiled batch 2
+	tensor.FillGaussian(big, r, 1)
+	got, err := plan.RunBatch(big, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shape().Equal(tensor.Shape{8, 10}) {
+		t.Fatalf("RunBatch shape = %v", got.Shape())
+	}
+	// Sequential reference: run each chunk through Run.
+	for c := 0; c < 4; c++ {
+		chunk := tensor.From(big.Data()[c*2*28*28:(c+1)*2*28*28], 2, 1, 28, 28)
+		want, err := plan.Run(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < 2; b++ {
+			for i := 0; i < 10; i++ {
+				if got.At(c*2+b, i) != want.At(b, i) {
+					t.Fatalf("chunk %d row %d diverges", c, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBatchRejectsNonMultiple(t *testing.T) {
+	g := nn.LeNet5(2, 7)
+	plan, err := Compile(g, Options{Force: ImplDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.RunBatch(tensor.New(3, 1, 28, 28), 2); err == nil {
+		t.Fatal("non-multiple batch must be rejected")
+	}
+}
+
+func TestDescribeTable(t *testing.T) {
+	plan, _ := lenetPlan(t, Options{Bits: 4})
+	tbl := plan.Describe()
+	if tbl.NumRows() < 3 { // 2 convs + 3 denses + TOTAL ≥ 3
+		t.Fatalf("Describe rows = %d", tbl.NumRows())
+	}
+}
+
+func TestCompileSqueezeNetAuto(t *testing.T) {
+	// SqueezeNet exercises Concat through the runtime's generic path plus
+	// 1x1-heavy convs through the encoded paths.
+	g := nn.SqueezeNet(1, 32, 10, 14)
+	plan, err := Compile(g, Options{Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(15)
+	in := tensor.New(1, 3, 32, 32)
+	tensor.FillGaussian(in, r, 1)
+	out, err := plan.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{1, 10}) {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	if err := ValidatePlan(plan.Graph, plan.Alloc, plan.ArenaBytes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileMobileNetForcedIPE(t *testing.T) {
+	// Depthwise-separable structure through the grouped IPE path.
+	g := nn.MobileNetV1(1, 32, 10, 16)
+	plan, err := Compile(g, Options{Force: ImplIPE, Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(17)
+	in := tensor.New(1, 3, 32, 32)
+	tensor.FillGaussian(in, r, 1)
+	out, err := plan.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{1, 10}) {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+}

@@ -1,0 +1,37 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+// ExampleConvSchedule_Simulate runs one tiling schedule of a convolution on
+// the accelerator model.
+func ExampleConvSchedule_Simulate() {
+	wl := schedule.Workload{
+		Spec: tensor.ConvSpec{InC: 16, OutC: 32, KH: 3, KW: 3,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		N: 1, H: 16, W: 16,
+	}
+	s := schedule.ConvSchedule{TileOC: 8, TileOH: 4, TileOW: 16, TileIC: 16}
+	res, err := s.Simulate(wl, accel.Default())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("schedule %s is legal and takes >0 cycles: %v\n", s, res.Cycles > 0)
+	// Output: schedule oc8.oh4.ow16.ic16.os is legal and takes >0 cycles: true
+}
+
+// ExampleNewSpace enumerates a schedule search space.
+func ExampleNewSpace() {
+	wl := schedule.Workload{
+		Spec: tensor.ConvSpec{InC: 8, OutC: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		N:    1, H: 8, W: 8,
+	}
+	sp := schedule.NewSpace(wl, accel.Default())
+	fmt.Printf("dims: %v (%d points)\n", sp.Dims(), sp.Size())
+	// Output: dims: [4 4 4 4 2 3] (1536 points)
+}

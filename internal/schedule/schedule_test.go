@@ -1,0 +1,278 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/accel"
+	"repro/internal/tensor"
+)
+
+func testWorkload() Workload {
+	return Workload{
+		Spec: tensor.ConvSpec{InC: 16, OutC: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		N:    1, H: 16, W: 16,
+	}
+}
+
+func TestWorkloadKeyStable(t *testing.T) {
+	a, b := testWorkload(), testWorkload()
+	if a.Key() != b.Key() {
+		t.Fatal("identical workloads must share a key")
+	}
+	c := testWorkload()
+	c.H = 32
+	if a.Key() == c.Key() {
+		t.Fatal("different workloads must have different keys")
+	}
+}
+
+func TestLegalSchedule(t *testing.T) {
+	w := testWorkload()
+	hw := accel.Default()
+	s := ConvSchedule{TileOC: 8, TileOH: 4, TileOW: 16, TileIC: 16}
+	if err := s.Legal(w, hw); err != nil {
+		t.Fatalf("reasonable schedule rejected: %v", err)
+	}
+}
+
+func TestIllegalSchedules(t *testing.T) {
+	w := testWorkload()
+	hw := accel.Default()
+	cases := []ConvSchedule{
+		{TileOC: 0, TileOH: 1, TileOW: 1, TileIC: 1},
+		{TileOC: 64, TileOH: 1, TileOW: 1, TileIC: 1},  // > OutC
+		{TileOC: 1, TileOH: 99, TileOW: 1, TileIC: 1},  // > OH
+		{TileOC: 1, TileOH: 1, TileOW: 1, TileIC: 999}, // > InC
+	}
+	for i, s := range cases {
+		if err := s.Legal(w, hw); err == nil {
+			t.Errorf("case %d: illegal schedule accepted: %v", i, s)
+		}
+	}
+}
+
+func TestFootprintRejectedOnTinySRAM(t *testing.T) {
+	w := testWorkload()
+	hw := accel.Default()
+	hw.SRAMBytes = 256 // absurdly small
+	s := ConvSchedule{TileOC: 32, TileOH: 16, TileOW: 16, TileIC: 16}
+	if err := s.Legal(w, hw); err == nil {
+		t.Fatal("schedule exceeding the scratchpad must be rejected")
+	}
+}
+
+func TestTilesCoverAllMACs(t *testing.T) {
+	w := testWorkload()
+	total := w.Spec.MACs(w.N, w.H, w.W)
+	for _, s := range []ConvSchedule{
+		{TileOC: 8, TileOH: 4, TileOW: 4, TileIC: 8},
+		{TileOC: 32, TileOH: 16, TileOW: 16, TileIC: 16},
+		{TileOC: 1, TileOH: 1, TileOW: 1, TileIC: 1},
+	} {
+		var got int64
+		for _, tile := range s.Tiles(w) {
+			got += tile.Muls
+		}
+		// Tiles may overcount when tile sizes do not divide extents (edge
+		// tiles are modeled full-size) but never undercount.
+		if got < total {
+			t.Errorf("schedule %v loses MACs: %d < %d", s, got, total)
+		}
+	}
+}
+
+func TestTilesExactWhenDividing(t *testing.T) {
+	w := testWorkload()
+	s := ConvSchedule{TileOC: 8, TileOH: 4, TileOW: 4, TileIC: 8}
+	var got int64
+	for _, tile := range s.Tiles(w) {
+		got += tile.Muls
+	}
+	if got != w.Spec.MACs(w.N, w.H, w.W) {
+		t.Fatalf("dividing schedule should cover MACs exactly: %d vs %d",
+			got, w.Spec.MACs(w.N, w.H, w.W))
+	}
+}
+
+func TestSimulateRejectsIllegal(t *testing.T) {
+	w := testWorkload()
+	s := ConvSchedule{TileOC: 0, TileOH: 1, TileOW: 1, TileIC: 1}
+	if _, err := s.Simulate(w, accel.Default()); err == nil {
+		t.Fatal("Simulate must propagate legality errors")
+	}
+}
+
+func TestSmallTilesUnderutilizeArray(t *testing.T) {
+	// A 1×1×1 tile exposes parallelism 1 and must be drastically slower
+	// than a schedule exposing full parallelism.
+	w := testWorkload()
+	hw := accel.Default()
+	tiny, err := (ConvSchedule{TileOC: 1, TileOH: 1, TileOW: 1, TileIC: 16}).Simulate(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := (ConvSchedule{TileOC: 16, TileOH: 4, TileOW: 16, TileIC: 16}).Simulate(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Cycles < 10*wide.Cycles {
+		t.Fatalf("tiny tiles (%d cycles) should be ≥10× slower than wide tiles (%d)",
+			tiny.Cycles, wide.Cycles)
+	}
+}
+
+func TestUnrollIncreasesParallelism(t *testing.T) {
+	w := testWorkload()
+	base := ConvSchedule{TileOC: 2, TileOH: 2, TileOW: 2, TileIC: 16}
+	unrolled := base
+	unrolled.UnrollKW = true
+	if unrolled.parallelism(w) != base.parallelism(w)*w.Spec.KW {
+		t.Fatal("unroll should multiply parallelism by KW")
+	}
+}
+
+func TestOptionsArePowersOfTwoPlusExtent(t *testing.T) {
+	got := Options(12)
+	want := []int{1, 2, 4, 8, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Options(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Options(12) = %v, want %v", got, want)
+		}
+	}
+	if o := Options(8); o[len(o)-1] != 8 || len(o) != 4 {
+		t.Fatalf("Options(8) = %v", o)
+	}
+}
+
+func TestSpaceDimsAndAt(t *testing.T) {
+	w := testWorkload()
+	sp := NewSpace(w, accel.Default())
+	dims := sp.Dims()
+	if len(dims) != 6 || dims[4] != 2 || dims[5] != 3 {
+		t.Fatalf("Dims = %v", dims)
+	}
+	idx := []int{0, 0, 0, 0, 1, 1}
+	s := sp.At(idx)
+	if s.TileOC != 1 || !s.UnrollKW || s.Dataflow != WeightStationary {
+		t.Fatalf("At(%v) = %v", idx, s)
+	}
+	if sp.Size() <= 0 {
+		t.Fatal("space must be non-empty")
+	}
+}
+
+func TestSpaceEvalConsistentWithSimulate(t *testing.T) {
+	w := testWorkload()
+	hw := accel.Default()
+	sp := NewSpace(w, hw)
+	idx := []int{2, 1, 2, 2, 0, 0}
+	cost, legal := sp.Eval(idx)
+	if !legal {
+		t.Fatal("expected legal point")
+	}
+	res, err := sp.At(idx).Simulate(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != float64(res.Cycles) {
+		t.Fatalf("Eval cost %v != Simulate cycles %d", cost, res.Cycles)
+	}
+}
+
+func TestSpaceEvalDeterministicProperty(t *testing.T) {
+	w := testWorkload()
+	sp := NewSpace(w, accel.Default())
+	dims := sp.Dims()
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		idx := make([]int, len(dims))
+		for i, d := range dims {
+			idx[i] = r.Intn(d)
+		}
+		c1, l1 := sp.Eval(idx)
+		c2, l2 := sp.Eval(idx)
+		return c1 == c2 && l1 == l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseWorkloadSpace(t *testing.T) {
+	w := Workload{
+		Spec: tensor.ConvSpec{InC: 32, OutC: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1,
+			PadH: 1, PadW: 1, Groups: 32},
+		N: 1, H: 8, W: 8,
+	}
+	sp := NewSpace(w, accel.Default())
+	// Group-local channels are 1, so OC/IC options collapse to {1}.
+	if len(sp.OCOpts) != 1 || len(sp.ICOpts) != 1 {
+		t.Fatalf("depthwise space should collapse channel dims: %v %v", sp.OCOpts, sp.ICOpts)
+	}
+	cost, legal := sp.Eval([]int{0, 0, 0, 0, 0, 0})
+	if !legal || cost <= 0 {
+		t.Fatal("depthwise schedule should be evaluable")
+	}
+}
+
+func TestDataflowChangesTraffic(t *testing.T) {
+	w := testWorkload()
+	base := ConvSchedule{TileOC: 8, TileOH: 4, TileOW: 4, TileIC: 16}
+	loadOf := func(d Dataflow) int64 {
+		s := base
+		s.Dataflow = d
+		var load int64
+		for _, tile := range s.Tiles(w) {
+			load += tile.LoadBytes
+		}
+		return load
+	}
+	os := loadOf(OutputStationary)
+	ws := loadOf(WeightStationary)
+	is := loadOf(InputStationary)
+	if ws >= os {
+		t.Fatalf("weight-stationary load %d should beat output-stationary %d", ws, os)
+	}
+	if is >= os {
+		t.Fatalf("input-stationary load %d should beat output-stationary %d", is, os)
+	}
+	// Ops are dataflow-invariant.
+	var opsOS, opsWS int64
+	sOS, sWS := base, base
+	sWS.Dataflow = WeightStationary
+	for _, tile := range sOS.Tiles(w) {
+		opsOS += tile.Muls
+	}
+	for _, tile := range sWS.Tiles(w) {
+		opsWS += tile.Muls
+	}
+	if opsOS != opsWS {
+		t.Fatalf("dataflow must not change op counts: %d vs %d", opsOS, opsWS)
+	}
+}
+
+func TestDataflowString(t *testing.T) {
+	if OutputStationary.String() != "os" || WeightStationary.String() != "ws" ||
+		InputStationary.String() != "is" {
+		t.Fatal("dataflow names wrong")
+	}
+}
+
+func TestDataflowFootprintPinsStationary(t *testing.T) {
+	w := testWorkload()
+	hw := accel.Default()
+	// A schedule near the SRAM limit under OS may become illegal under WS
+	// (the pinned weight slice adds footprint) — verify the footprint is
+	// monotone in the stationary operand.
+	s := ConvSchedule{TileOC: 32, TileOH: 16, TileOW: 16, TileIC: 16}
+	osFp := s.footprintBytes(w)
+	s.Dataflow = WeightStationary
+	if s.footprintBytes(w) <= osFp {
+		t.Fatal("weight-stationary footprint must exceed output-stationary")
+	}
+	_ = hw
+}

@@ -1,0 +1,408 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvSpec describes a 2-D convolution. Weights are stored OIHW
+// ([outC, inC/groups, kH, kW]); activations are NCHW unless a kernel states
+// otherwise. Groups > 1 expresses grouped/depthwise convolution
+// (groups == inC == outC for depthwise).
+type ConvSpec struct {
+	InC, OutC        int // input / output channel counts
+	KH, KW           int // kernel height / width
+	StrideH, StrideW int // strides
+	PadH, PadW       int // symmetric zero padding
+	Groups           int // channel groups; 0 or 1 means dense convolution
+}
+
+// Normalize returns the spec with Groups clamped to at least 1.
+func (s ConvSpec) Normalize() ConvSpec {
+	if s.Groups < 1 {
+		s.Groups = 1
+	}
+	return s
+}
+
+// Validate checks internal consistency of the spec.
+func (s ConvSpec) Validate() error {
+	s = s.Normalize()
+	switch {
+	case s.InC <= 0 || s.OutC <= 0:
+		return fmt.Errorf("tensor: conv channels must be positive: %+v", s)
+	case s.KH <= 0 || s.KW <= 0:
+		return fmt.Errorf("tensor: conv kernel dims must be positive: %+v", s)
+	case s.StrideH <= 0 || s.StrideW <= 0:
+		return fmt.Errorf("tensor: conv strides must be positive: %+v", s)
+	case s.PadH < 0 || s.PadW < 0:
+		return fmt.Errorf("tensor: conv padding must be non-negative: %+v", s)
+	case s.InC%s.Groups != 0 || s.OutC%s.Groups != 0:
+		return fmt.Errorf("tensor: conv groups %d must divide inC %d and outC %d", s.Groups, s.InC, s.OutC)
+	}
+	return nil
+}
+
+// OutDims returns the output spatial dimensions for an input of h×w.
+func (s ConvSpec) OutDims(h, w int) (oh, ow int) {
+	oh = (h+2*s.PadH-s.KH)/s.StrideH + 1
+	ow = (w+2*s.PadW-s.KW)/s.StrideW + 1
+	return oh, ow
+}
+
+// WeightShape returns the OIHW weight shape for the spec.
+func (s ConvSpec) WeightShape() Shape {
+	s = s.Normalize()
+	return Shape{s.OutC, s.InC / s.Groups, s.KH, s.KW}
+}
+
+// MACs returns the number of multiply-accumulate operations a dense direct
+// convolution performs for an input of h×w with batch n.
+func (s ConvSpec) MACs(n, h, w int) int64 {
+	s = s.Normalize()
+	oh, ow := s.OutDims(h, w)
+	perOut := int64(s.InC/s.Groups) * int64(s.KH) * int64(s.KW)
+	return int64(n) * int64(s.OutC) * int64(oh) * int64(ow) * perOut
+}
+
+// Conv2D computes a reference direct 2-D convolution with optional bias.
+// in is NCHW [n, inC, h, w]; w is OIHW; bias may be nil or [outC].
+// The result is NCHW [n, outC, oh, ow].
+func Conv2D(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	if c != spec.InC {
+		panic(fmt.Sprintf("tensor: Conv2D input channels %d != spec.InC %d", c, spec.InC))
+	}
+	if !weight.Shape().Equal(spec.WeightShape()) {
+		panic(fmt.Sprintf("tensor: Conv2D weight shape %v != expected %v", weight.Shape(), spec.WeightShape()))
+	}
+	oh, ow := spec.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output %dx%d", oh, ow))
+	}
+	out := New(n, spec.OutC, oh, ow)
+	icg := spec.InC / spec.Groups  // input channels per group
+	ocg := spec.OutC / spec.Groups // output channels per group
+	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < spec.OutC; oc++ {
+			g := oc / ocg
+			var bv float32
+			if bias != nil {
+				bv = bias.Data()[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := bv
+					iy0 := oy*spec.StrideH - spec.PadH
+					ix0 := ox*spec.StrideW - spec.PadW
+					for ic := 0; ic < icg; ic++ {
+						cIn := g*icg + ic
+						for ky := 0; ky < spec.KH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							inRow := ind[((b*c+cIn)*h+iy)*w:]
+							wRow := wd[((oc*icg+ic)*spec.KH+ky)*spec.KW:]
+							for kx := 0; kx < spec.KW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += inRow[ix] * wRow[kx]
+							}
+						}
+					}
+					od[((b*spec.OutC+oc)*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Im2col lowers an NCHW input to the im2col matrix of shape
+// [inC*kH*kW, oh*ow] for a single batch element b, so that convolution
+// becomes a GEMM with the [outC, inC*kH*kW] weight matrix. Grouped
+// convolutions lower one group at a time via Im2colGroup.
+func Im2col(in *Tensor, b int, spec ConvSpec) *Tensor {
+	spec = spec.Normalize()
+	if spec.Groups != 1 {
+		panic("tensor: Im2col requires Groups == 1; use Im2colGroup")
+	}
+	return Im2colGroup(in, b, 0, spec)
+}
+
+// Im2colGroup lowers the channels of group g of batch element b into a
+// matrix of shape [icg*kH*kW, oh*ow], where icg = inC/groups.
+func Im2colGroup(in *Tensor, b, g int, spec ConvSpec) *Tensor {
+	spec = spec.Normalize()
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	icg := spec.InC / spec.Groups
+	out := New(icg*spec.KH*spec.KW, oh*ow)
+	ind, od := in.Data(), out.Data()
+	for ic := 0; ic < icg; ic++ {
+		cIn := g*icg + ic
+		for ky := 0; ky < spec.KH; ky++ {
+			for kx := 0; kx < spec.KW; kx++ {
+				row := (ic*spec.KH+ky)*spec.KW + kx
+				dst := od[row*oh*ow:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH - spec.PadH + ky
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW - spec.PadW + kx
+						var v float32
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							v = ind[((b*c+cIn)*h+iy)*w+ix]
+						}
+						dst[oy*ow+ox] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DIm2col computes convolution by im2col lowering followed by GEMM.
+// It matches Conv2D exactly up to float accumulation order.
+func Conv2DIm2col(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	out := New(n, spec.OutC, oh, ow)
+	wd, od := weight.Data(), out.Data()
+	cbuf := make([]float32, ocg*oh*ow)
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			col := Im2colGroup(in, b, g, spec)
+			// Weight rows for this group: [ocg, icg*kH*kW].
+			wmat := wd[g*ocg*icg*spec.KH*spec.KW : (g+1)*ocg*icg*spec.KH*spec.KW]
+			Gemm(wmat, col.Data(), cbuf, ocg, icg*spec.KH*spec.KW, oh*ow)
+			for oc := 0; oc < ocg; oc++ {
+				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow:]
+				src := cbuf[oc*oh*ow : (oc+1)*oh*ow]
+				var bv float32
+				if bias != nil {
+					bv = bias.Data()[g*ocg+oc]
+				}
+				for i, v := range src {
+					dst[i] = v + bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise, returning a new tensor.
+func ReLU(in *Tensor) *Tensor {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// AddTensors returns the elementwise sum of two same-shape tensors.
+func AddTensors(a, b *Tensor) *Tensor {
+	out := a.Clone()
+	return out.Add(b)
+}
+
+// MaxPool2D computes max pooling over an NCHW tensor.
+func MaxPool2D(in *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*padH-kh)/strideH + 1
+	ow := (w+2*padW-kw)/strideW + 1
+	out := New(n, c, oh, ow)
+	ind, od := in.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(0)
+					first := true
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*strideH - padH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*strideW - padW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := ind[base+iy*w+ix]
+							if first || v > best {
+								best = v
+								first = false
+							}
+						}
+					}
+					od[((b*c+ch)*oh+oy)*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2D computes average pooling over an NCHW tensor, dividing by the
+// number of in-bounds taps (count_include_pad = false).
+func AvgPool2D(in *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*padH-kh)/strideH + 1
+	ow := (w+2*padW-kw)/strideW + 1
+	out := New(n, c, oh, ow)
+	ind, od := in.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					cnt := 0
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*strideH - padH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*strideW - padW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += ind[base+iy*w+ix]
+							cnt++
+						}
+					}
+					if cnt > 0 {
+						od[((b*c+ch)*oh+oy)*ow+ox] = sum / float32(cnt)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2D reduces each channel's spatial plane to its mean,
+// producing an NCHW tensor with 1×1 spatial extent.
+func GlobalAvgPool2D(in *Tensor) *Tensor {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	out := New(n, c, 1, 1)
+	ind, od := in.Data(), out.Data()
+	hw := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			var s float64
+			for i := 0; i < hw; i++ {
+				s += float64(ind[base+i])
+			}
+			od[b*c+ch] = float32(s / float64(hw))
+		}
+	}
+	return out
+}
+
+// BatchNorm applies inference-mode batch normalization per channel:
+// y = gamma*(x-mean)/sqrt(var+eps) + beta. All parameter tensors have
+// shape [c].
+func BatchNorm(in, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	out := New(n, c, h, w)
+	ind, od := in.Data(), out.Data()
+	g, bt, mu, va := gamma.Data(), beta.Data(), mean.Data(), variance.Data()
+	hw := h * w
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			scale := g[ch] / sqrt32(va[ch]+eps)
+			shift := bt[ch] - mu[ch]*scale
+			base := (b*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				od[base+i] = ind[base+i]*scale + shift
+			}
+		}
+	}
+	return out
+}
+
+func sqrt32(x float32) float32 {
+	// Newton iterations on a float64 seed are exact enough for float32.
+	if x <= 0 {
+		return 0
+	}
+	y := x
+	z := 0.5 * (float64(y) + float64(x)/float64(y))
+	z = 0.5 * (z + float64(x)/z)
+	z = 0.5 * (z + float64(x)/z)
+	z = 0.5 * (z + float64(x)/z)
+	return float32(z)
+}
+
+// Dense computes a fully connected layer y = W·x + b for each batch row.
+// in is [n, k]; weight is [m, k]; bias may be nil or [m]. Result is [n, m].
+func Dense(in, weight, bias *Tensor) *Tensor {
+	n, k := in.Dim(0), in.Dim(1)
+	m, k2 := weight.Dim(0), weight.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: Dense inner dims differ: input %d vs weight %d", k, k2))
+	}
+	out := New(n, m)
+	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		MatVec(wd, ind[b*k:(b+1)*k], od[b*m:(b+1)*m], m, k)
+		if bias != nil {
+			bd := bias.Data()
+			for i := 0; i < m; i++ {
+				od[b*m+i] += bd[i]
+			}
+		}
+	}
+	return out
+}
+
+// Softmax applies a numerically stable softmax along the last dimension of a
+// rank-2 tensor.
+func Softmax(in *Tensor) *Tensor {
+	n, k := in.Dim(0), in.Dim(1)
+	out := New(n, k)
+	ind, od := in.Data(), out.Data()
+	for b := 0; b < n; b++ {
+		row := ind[b*k : (b+1)*k]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - mx))
+			od[b*k+i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := 0; i < k; i++ {
+			od[b*k+i] *= inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 1},
+		{nil, 1},
+		{Shape{5}, 5},
+		{Shape{2, 3}, 6},
+		{Shape{1, 3, 224, 224}, 150528},
+		{Shape{0, 3}, 0},
+		{Shape{-1, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := c.shape.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestShapeStridesRowMajor(t *testing.T) {
+	s := Shape{2, 3, 4}
+	st := s.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("Strides(%v) = %v, want %v", s, st, want)
+		}
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	s := Shape{1, 2, 3}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c[0] = 9
+	if s.Equal(c) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if s.Equal(Shape{1, 2}) {
+		t.Fatal("shapes of different rank must not be equal")
+	}
+}
+
+func TestNewAndAtSet(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7, 1, 2)
+	if got := x.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", got)
+	}
+	if got := x.At(0, 0); got != 0 {
+		t.Fatalf("fresh tensor should be zero, got %v", got)
+	}
+	if x.Offset(1, 2) != 5 {
+		t.Fatalf("Offset(1,2) = %d, want 5", x.Offset(1, 2))
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSharesStorage(t *testing.T) {
+	backing := []float32{1, 2, 3, 4}
+	x := From(backing, 2, 2)
+	backing[3] = 42
+	if x.At(1, 1) != 42 {
+		t.Fatal("From must wrap the slice without copying")
+	}
+}
+
+func TestFromLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	From([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	x.Set(5, 1, 3)
+	y := x.Reshape(3, 4)
+	if y.At(2, 1) != 5 {
+		t.Fatalf("reshape must preserve row-major order: got %v", y.At(2, 1))
+	}
+	y.Set(9, 0, 0)
+	if x.At(0, 0) != 9 {
+		t.Fatal("reshape must share storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := New(2, 2).Fill(3)
+	y := x.Clone()
+	y.Set(8, 0, 0)
+	if x.At(0, 0) != 3 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := New(2, 2).Fill(1)
+	b := New(2, 2).Fill(2)
+	a.Add(b).Scale(3)
+	for _, v := range a.Data() {
+		if v != 9 {
+			t.Fatalf("got %v, want 9", v)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := From([]float32{-1, 2, -3, 4}, 4)
+	a.Apply(func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	want := []float32{0, 2, 0, 4}
+	for i, v := range a.Data() {
+		if v != want[i] {
+			t.Fatalf("Apply: got %v, want %v", a.Data(), want)
+		}
+	}
+}
+
+func TestSparsityAndCountNonZero(t *testing.T) {
+	a := From([]float32{0, 1, 0, 2}, 4)
+	if a.CountNonZero() != 2 {
+		t.Fatalf("CountNonZero = %d, want 2", a.CountNonZero())
+	}
+	if a.Sparsity() != 0.5 {
+		t.Fatalf("Sparsity = %v, want 0.5", a.Sparsity())
+	}
+}
+
+func TestMaxAbsAndSum(t *testing.T) {
+	a := From([]float32{-5, 1, 3}, 3)
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v, want 5", a.MaxAbs())
+	}
+	if a.Sum() != -1 {
+		t.Fatalf("Sum = %v, want -1", a.Sum())
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := From([]float32{1, 2}, 2)
+	b := From([]float32{1.0000001, 2.0000001}, 2)
+	if !AllClose(a, b, 1e-5, 1e-5) {
+		t.Fatal("nearly equal tensors should be close")
+	}
+	c := From([]float32{1, 3}, 2)
+	if AllClose(a, c, 1e-5, 1e-5) {
+		t.Fatal("different tensors should not be close")
+	}
+	nan := From([]float32{float32(math.NaN()), 2}, 2)
+	if AllClose(nan, nan, 1, 1) {
+		t.Fatal("NaN must never compare close")
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	r := NewRNG(1)
+	x := New(2, 3, 4, 5)
+	FillGaussian(x, r, 1)
+	y := NHWCToNCHW(NCHWToNHWC(x))
+	if MaxAbsDiff(x, y) != 0 {
+		t.Fatal("NCHW→NHWC→NCHW must be the identity")
+	}
+}
+
+func TestNCHWToNHWCValues(t *testing.T) {
+	x := New(1, 2, 2, 2)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i)
+	}
+	y := NCHWToNHWC(x)
+	// x[0, c, h, w] = ((0*2+c)*2+h)*2+w; y[0, h, w, c] must match.
+	for c := 0; c < 2; c++ {
+		for h := 0; h < 2; h++ {
+			for w := 0; w < 2; w++ {
+				if y.At(0, h, w, c) != x.At(0, c, h, w) {
+					t.Fatalf("layout transform wrong at c=%d h=%d w=%d", c, h, w)
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n, c := 1+r.Intn(2), 1+r.Intn(5)
+		h, w := 1+r.Intn(6), 1+r.Intn(6)
+		x := New(n, c, h, w)
+		FillGaussian(x, r, 1)
+		return MaxAbsDiff(x, NHWCToNCHW(NCHWToNHWC(x))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if NCHW.String() != "NCHW" || NHWC.String() != "NHWC" {
+		t.Fatal("layout names wrong")
+	}
+}
