@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify build test race vet bench
+
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The executor and the encoded kernels are the concurrency-sensitive
+# packages (pooled executors, parallel compile, RunBatch workers).
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/ipe/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -254,3 +254,51 @@ func BenchmarkFig10Hardware(b *testing.B) { benchExperiment(b, "fig10") }
 // BenchmarkFig11Distributions regenerates Fig 11 (distribution
 // sensitivity).
 func BenchmarkFig11Distributions(b *testing.B) { benchExperiment(b, "fig11") }
+
+// benchPlan compiles the LeNet-5 benchmark graph once per benchmark and
+// returns it with a matching Gaussian input.
+func benchPlan(b *testing.B, batch int) (*runtime.Plan, *tensor.Tensor) {
+	b.Helper()
+	g := nn.LeNet5(1, 41)
+	plan, err := runtime.Compile(g, runtime.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(batch, 1, 28, 28)
+	tensor.FillGaussian(in, tensor.NewRNG(42), 1)
+	return plan, in
+}
+
+// BenchmarkRunSteadyState measures one warm Executor doing repeated
+// inference: destination-passing into the planned arena, so allocs/op must
+// report 0 after the warm-up run.
+func BenchmarkRunSteadyState(b *testing.B) {
+	plan, in := benchPlan(b, 1)
+	e := plan.NewExecutor()
+	if _, err := e.Run(in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunBatchPooled measures parallel batched inference with workers
+// drawing warm Executors from the plan's pool.
+func BenchmarkRunBatchPooled(b *testing.B) {
+	plan, in := benchPlan(b, 8)
+	if _, err := plan.RunBatch(in, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.RunBatch(in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -80,7 +80,21 @@ func (c *CSR) MatMat(b *tensor.Tensor) *tensor.Tensor {
 	}
 	p := b.Dim(1)
 	out := tensor.New(c.M, p)
-	bd, od := b.Data(), out.Data()
+	c.MatMatInto(out.Data(), b.Data(), p)
+	return out
+}
+
+// MatMatInto is MatMat over raw row-major buffers: b holds [K, p], dst
+// receives [M, p]. dst is zeroed before accumulation, so it need not be
+// clean.
+func (c *CSR) MatMatInto(dst, b []float32, p int) {
+	if len(b) < c.K*p || len(dst) < c.M*p {
+		panic("baseline: CSR MatMatInto buffers too small")
+	}
+	bd, od := b, dst
+	for i := range od[:c.M*p] {
+		od[i] = 0
+	}
 	for r := 0; r < c.M; r++ {
 		dst := od[r*p : (r+1)*p]
 		for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
@@ -91,7 +105,6 @@ func (c *CSR) MatMat(b *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Cost returns the arithmetic cost of one MatVec.
@@ -135,28 +148,46 @@ func (l *ConvCSR) Forward(in *tensor.Tensor) *tensor.Tensor {
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
-	ocg := spec.OutC / spec.Groups
 	out := tensor.New(n, spec.OutC, oh, ow)
-	od := out.Data()
+	var s tensor.Scratch
+	l.ForwardInto(out, in, &s)
+	return out
+}
+
+// ForwardInto is Forward writing into a preallocated [n, outC, oh, ow]
+// destination, drawing im2col and result buffers from the caller's Scratch.
+// dst must not alias in.
+func (l *ConvCSR) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	od := dst.Data()
+	mark := s.Mark()
+	col := s.Take(icg * spec.KH * spec.KW * oh * ow)
+	res := s.Take(ocg * oh * ow)
 	for b := 0; b < n; b++ {
 		for g := 0; g < spec.Groups; g++ {
-			col := tensor.Im2colGroup(in, b, g, spec)
-			res := l.Mats[g].MatMat(col)
-			rd := res.Data()
+			tensor.Im2colGroupInto(col, in, b, g, spec)
+			l.Mats[g].MatMatInto(res, col, oh*ow)
 			for oc := 0; oc < ocg; oc++ {
 				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
 				var bv float32
 				if l.Bias != nil {
 					bv = l.Bias.Data()[g*ocg+oc]
 				}
-				src := rd[oc*oh*ow : (oc+1)*oh*ow]
+				src := res[oc*oh*ow : (oc+1)*oh*ow]
 				for i, v := range src {
 					dst[i] = v + bv
 				}
 			}
 		}
 	}
-	return out
+	s.Release(mark)
 }
 
 // NNZ returns the total stored nonzeros across groups.

@@ -89,8 +89,22 @@ func (f *Factorized) MatMat(b *tensor.Tensor) *tensor.Tensor {
 	}
 	p := b.Dim(1)
 	out := tensor.New(f.M, p)
-	bd, od := b.Data(), out.Data()
-	group := make([]float32, p)
+	f.MatMatInto(out.Data(), b.Data(), p, make([]float32, p))
+	return out
+}
+
+// MatMatInto is MatMat over raw row-major buffers: b holds [K, p], dst
+// receives [M, p] (zeroed before accumulation), and group is a work buffer
+// of at least p floats.
+func (f *Factorized) MatMatInto(dst, b []float32, p int, group []float32) {
+	if len(b) < f.K*p || len(dst) < f.M*p || len(group) < p {
+		panic("baseline: Factorized MatMatInto buffers too small")
+	}
+	bd, od := b, dst
+	for i := range od[:f.M*p] {
+		od[i] = 0
+	}
+	group = group[:p]
 	for r := range f.Rows {
 		dst := od[r*p : (r+1)*p]
 		for _, t := range f.Rows[r].Terms {
@@ -103,12 +117,11 @@ func (f *Factorized) MatMat(b *tensor.Tensor) *tensor.Tensor {
 					group[j] += src[j]
 				}
 			}
-			for j := range dst {
+			for j := range dst[:p] {
 				dst[j] += t.Value * group[j]
 			}
 		}
 	}
-	return out
 }
 
 // Cost returns the arithmetic cost of one MatVec.
@@ -181,28 +194,47 @@ func (l *ConvFactorized) Forward(in *tensor.Tensor) *tensor.Tensor {
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
-	ocg := spec.OutC / spec.Groups
 	out := tensor.New(n, spec.OutC, oh, ow)
-	od := out.Data()
+	var s tensor.Scratch
+	l.ForwardInto(out, in, &s)
+	return out
+}
+
+// ForwardInto is Forward writing into a preallocated [n, outC, oh, ow]
+// destination, drawing work buffers from the caller's Scratch. dst must not
+// alias in.
+func (l *ConvFactorized) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	od := dst.Data()
+	mark := s.Mark()
+	col := s.Take(icg * spec.KH * spec.KW * oh * ow)
+	res := s.Take(ocg * oh * ow)
+	group := s.Take(oh * ow)
 	for b := 0; b < n; b++ {
 		for g := 0; g < spec.Groups; g++ {
-			col := tensor.Im2colGroup(in, b, g, spec)
-			res := l.Mats[g].MatMat(col)
-			rd := res.Data()
+			tensor.Im2colGroupInto(col, in, b, g, spec)
+			l.Mats[g].MatMatInto(res, col, oh*ow, group)
 			for oc := 0; oc < ocg; oc++ {
 				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
 				var bv float32
 				if l.Bias != nil {
 					bv = l.Bias.Data()[g*ocg+oc]
 				}
-				src := rd[oc*oh*ow : (oc+1)*oh*ow]
+				src := res[oc*oh*ow : (oc+1)*oh*ow]
 				for i, v := range src {
 					dst[i] = v + bv
 				}
 			}
 		}
 	}
-	return out
+	s.Release(mark)
 }
 
 // Cost aggregates the per-pixel arithmetic cost across groups.

@@ -118,13 +118,29 @@ func outputTransform(m [16]float32) [4]float32 {
 // computing the final row/column tiles over zero-padded input (exact).
 func (l *ConvWinograd) Forward(in *tensor.Tensor) *tensor.Tensor {
 	spec := l.Spec
-	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
 	out := tensor.New(n, spec.OutC, oh, ow)
-	ind, od := in.Data(), out.Data()
+	var s tensor.Scratch
+	l.ForwardInto(out, in, &s)
+	return out
+}
+
+// ForwardInto is Forward writing into a preallocated [n, outC, oh, ow]
+// destination, drawing the transformed-tile buffer from the caller's
+// Scratch. dst must not alias in.
+func (l *ConvWinograd) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	spec := l.Spec
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	ind, od := in.Data(), dst.Data()
 	nTilesY := (oh + 1) / 2
 	nTilesX := (ow + 1) / 2
-	vTiles := make([][16]float32, c) // transformed input tiles per channel
+	mark := s.Mark()
+	vTiles := s.Take(c * 16) // transformed input tiles, 16 floats per channel
 	for b := 0; b < n; b++ {
 		for ty := 0; ty < nTilesY; ty++ {
 			for tx := 0; tx < nTilesX; tx++ {
@@ -146,14 +162,15 @@ func (l *ConvWinograd) Forward(in *tensor.Tensor) *tensor.Tensor {
 							d[r*4+cc] = ind[base+iy*w+ix]
 						}
 					}
-					vTiles[ic] = inputTransform(d)
+					v := inputTransform(d)
+					copy(vTiles[ic*16:ic*16+16], v[:])
 				}
 				for oc := 0; oc < spec.OutC; oc++ {
 					var m [16]float32
 					uRow := l.U[oc]
 					for ic := 0; ic < c; ic++ {
 						u := &uRow[ic]
-						v := &vTiles[ic]
+						v := vTiles[ic*16 : ic*16+16]
 						for i := 0; i < 16; i++ {
 							m[i] += u[i] * v[i]
 						}
@@ -181,7 +198,7 @@ func (l *ConvWinograd) Forward(in *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	s.Release(mark)
 }
 
 // Cost returns the per-inference arithmetic cost for an input of h×w with

@@ -78,6 +78,49 @@ func EvalNode(n *Node, ins []*tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// EvalNodeInto executes a single node writing the result into a
+// preallocated destination tensor of the node's output shape, honoring the
+// FusedReLU attribute. It is the destination-passing counterpart of
+// EvalNode: no output (or intermediate) tensor is allocated, so a planned
+// runtime can point dst straight into its activation arena. dst must not
+// alias any input (the memory planner guarantees this for planned buffers).
+// OpInput and OpConst nodes produce no computation and are rejected.
+func EvalNodeInto(dst *tensor.Tensor, n *Node, ins []*tensor.Tensor) error {
+	switch n.Kind {
+	case OpConv:
+		tensor.Conv2DInto(dst, ins[0], n.Param("weight"), n.Param("bias"), n.Attrs.Conv)
+	case OpDense:
+		tensor.DenseInto(dst, ins[0], n.Param("weight"), n.Param("bias"))
+	case OpBatchNorm:
+		tensor.BatchNormInto(dst, ins[0], n.Param("gamma"), n.Param("beta"),
+			n.Param("mean"), n.Param("var"), n.Attrs.Eps)
+	case OpReLU:
+		tensor.ReLUInto(dst, ins[0])
+	case OpMaxPool:
+		p := n.Attrs.Pool
+		tensor.MaxPool2DInto(dst, ins[0], p.KH, p.KW, p.StrideH, p.StrideW, p.PadH, p.PadW)
+	case OpAvgPool:
+		p := n.Attrs.Pool
+		tensor.AvgPool2DInto(dst, ins[0], p.KH, p.KW, p.StrideH, p.StrideW, p.PadH, p.PadW)
+	case OpGlobalAvgPool:
+		tensor.GlobalAvgPool2DInto(dst, ins[0])
+	case OpAdd:
+		tensor.AddInto(dst, ins[0], ins[1])
+	case OpFlatten:
+		copy(dst.Data(), ins[0].Data())
+	case OpSoftmax:
+		tensor.SoftmaxInto(dst, ins[0])
+	case OpConcat:
+		concatChannelsInto(dst, ins)
+	default:
+		return fmt.Errorf("unsupported op kind %v", n.Kind)
+	}
+	if n.Attrs.FusedReLU {
+		tensor.ReLUInto(dst, dst)
+	}
+	return nil
+}
+
 // concatChannels concatenates NCHW tensors along the channel dimension.
 func concatChannels(ins []*tensor.Tensor) *tensor.Tensor {
 	n, h, w := ins[0].Dim(0), ins[0].Dim(2), ins[0].Dim(3)
@@ -86,6 +129,21 @@ func concatChannels(ins []*tensor.Tensor) *tensor.Tensor {
 		chans += t.Dim(1)
 	}
 	out := tensor.New(n, chans, h, w)
+	concatChannelsInto(out, ins)
+	return out
+}
+
+// concatChannelsInto concatenates NCHW tensors along the channel dimension
+// into a preallocated destination.
+func concatChannelsInto(out *tensor.Tensor, ins []*tensor.Tensor) {
+	n, h, w := ins[0].Dim(0), ins[0].Dim(2), ins[0].Dim(3)
+	chans := 0
+	for _, t := range ins {
+		chans += t.Dim(1)
+	}
+	if out.NumElements() != n*chans*h*w {
+		panic(fmt.Sprintf("graph: concat dst %v != [%d %d %d %d]", out.Shape(), n, chans, h, w))
+	}
 	od := out.Data()
 	hw := h * w
 	for b := 0; b < n; b++ {
@@ -97,5 +155,4 @@ func concatChannels(ins []*tensor.Tensor) *tensor.Tensor {
 			cOff += c
 		}
 	}
-	return out
 }

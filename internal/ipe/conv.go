@@ -68,17 +68,36 @@ func (l *ConvLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
-	ocg := spec.OutC / spec.Groups
 	out := tensor.New(n, spec.OutC, oh, ow)
-	od := out.Data()
+	var s tensor.Scratch
+	l.ForwardInto(out, in, &s)
+	return out
+}
+
+// ForwardInto is Forward writing into a preallocated [n, outC, oh, ow]
+// destination, drawing the im2col and program buffers from the caller's
+// Scratch: once the scratch is warm, execution performs no heap
+// allocations. dst must not alias in.
+func (l *ConvLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("ipe: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	od := dst.Data()
+	mark := s.Mark()
+	col := s.Take(icg * spec.KH * spec.KW * oh * ow)
+	res := s.Take(ocg * oh * ow)
 	for b := 0; b < n; b++ {
 		for g := 0; g < spec.Groups; g++ {
-			col := tensor.Im2colGroup(in, b, g, spec)
-			res := l.Programs[g].ExecuteMatrix(col) // [ocg, oh*ow]
-			rd := res.Data()
+			tensor.Im2colGroupInto(col, in, b, g, spec)
+			l.Programs[g].ExecuteMatrixInto(res, col, oh*ow, s) // [ocg, oh*ow]
 			for oc := 0; oc < ocg; oc++ {
 				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
-				src := rd[oc*oh*ow : (oc+1)*oh*ow]
+				src := res[oc*oh*ow : (oc+1)*oh*ow]
 				var bv float32
 				if l.Bias != nil {
 					bv = l.Bias.Data()[g*ocg+oc]
@@ -89,7 +108,7 @@ func (l *ConvLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+	s.Release(mark)
 }
 
 // Cost returns the total arithmetic cost of one forward pass over an input
@@ -134,24 +153,38 @@ func EncodeDense(w, bias *tensor.Tensor, bits int, scheme quant.Scheme, cfg Conf
 
 // Forward computes y = W_q·x + b for each row of the [n, k] input.
 func (l *DenseLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Dim(0), l.Program.M)
+	var s tensor.Scratch
+	l.ForwardInto(out, in, &s)
+	return out
+}
+
+// ForwardInto is Forward writing into a preallocated [n, m] destination,
+// drawing the partial-sum scratchpad from the caller's Scratch. dst must
+// not alias in.
+func (l *DenseLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 	n, k := in.Dim(0), in.Dim(1)
 	if k != l.Program.K {
 		panic(fmt.Sprintf("ipe: DenseLayer input width %d != K %d", k, l.Program.K))
 	}
-	out := tensor.New(n, l.Program.M)
+	if dst.NumElements() != n*l.Program.M {
+		panic(fmt.Sprintf("ipe: ForwardInto dst %v != [%d %d]", dst.Shape(), n, l.Program.M))
+	}
+	mark := s.Mark()
+	scratch := s.Take(l.Program.NumSymbols())
+	od := dst.Data()
 	for b := 0; b < n; b++ {
-		l.Program.Execute(in.Data()[b*k:(b+1)*k], out.Data()[b*l.Program.M:(b+1)*l.Program.M])
+		l.Program.ExecuteScratch(in.Data()[b*k:(b+1)*k], od[b*l.Program.M:(b+1)*l.Program.M], scratch)
 	}
 	if l.Bias != nil {
 		bd := l.Bias.Data()
-		od := out.Data()
 		for b := 0; b < n; b++ {
 			for i := 0; i < l.Program.M; i++ {
 				od[b*l.Program.M+i] += bd[i]
 			}
 		}
 	}
-	return out
+	s.Release(mark)
 }
 
 // EncodeConvShared is EncodeConv with one pair dictionary shared across

@@ -52,10 +52,19 @@ func (p *Program) executeInto(vals, y []float32) {
 // Σ code·Σ x[i]. This is the bit-exact path used by the equivalence
 // property tests.
 func (p *Program) ExecuteInt(x []int32, y []int64) {
+	p.ExecuteIntScratch(x, y, make([]int64, p.NumSymbols()))
+}
+
+// ExecuteIntScratch is ExecuteInt with a caller-provided scratch buffer of
+// at least NumSymbols() int64 accumulators, for allocation-free fixed-point
+// inference. The scratch contents are fully overwritten.
+func (p *Program) ExecuteIntScratch(x []int32, y, vals []int64) {
 	if len(x) < p.K || len(y) < p.M {
 		panic("ipe: ExecuteInt buffers too small")
 	}
-	vals := make([]int64, p.NumSymbols())
+	if len(vals) < p.NumSymbols() {
+		panic(fmt.Sprintf("ipe: int scratch %d < symbols %d", len(vals), p.NumSymbols()))
+	}
 	for i := 0; i < p.K; i++ {
 		vals[i] = int64(x[i])
 	}
@@ -90,9 +99,27 @@ func (p *Program) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
 	}
 	pTotal := cols.Dim(1)
 	out := tensor.New(p.M, pTotal)
-	cd, od := cols.Data(), out.Data()
+	var s tensor.Scratch
+	p.ExecuteMatrixInto(out.Data(), cols.Data(), pTotal, &s)
+	return out
+}
+
+// ExecuteMatrixInto is ExecuteMatrix over raw row-major buffers: cols holds
+// the [K, pTotal] input, dst receives the [M, pTotal] result (every element
+// is written). Transient block buffers come from the caller's Scratch, so
+// warmed steady-state execution performs no heap allocations. The scratch
+// watermark is restored before returning.
+func (p *Program) ExecuteMatrixInto(dst, cols []float32, pTotal int, s *tensor.Scratch) {
+	if len(cols) < p.K*pTotal || len(dst) < p.M*pTotal {
+		panic(fmt.Sprintf("ipe: ExecuteMatrixInto buffers too small (|cols|=%d K·P=%d |dst|=%d M·P=%d)",
+			len(cols), p.K*pTotal, len(dst), p.M*pTotal))
+	}
+	cd, od := cols, dst
 	nsym := p.NumSymbols()
-	scratch := make([]float32, nsym*colBlock)
+	mark := s.Mark()
+	scratch := s.Take(nsym * colBlock)
+	acc := s.Take(colBlock)
+	group := s.Take(colBlock)
 	for c0 := 0; c0 < pTotal; c0 += colBlock {
 		bw := min(colBlock, pTotal-c0)
 		// Load the raw input rows for this column block.
@@ -109,8 +136,6 @@ func (p *Program) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// Emit rows.
-		acc := make([]float32, bw)
-		group := make([]float32, bw)
 		for r := range p.Rows {
 			for i := range acc[:bw] {
 				acc[i] = 0
@@ -132,5 +157,5 @@ func (p *Program) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
 			copy(od[r*pTotal+c0:r*pTotal+c0+bw], acc[:bw])
 		}
 	}
-	return out
+	s.Release(mark)
 }

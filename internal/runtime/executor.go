@@ -1,0 +1,196 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Executor is a reusable execution context for one Plan: it owns the
+// activation arena laid out by the memory planner, one prebuilt tensor view
+// per planned buffer, a flat node-ID-indexed slot table, and the kernel
+// scratch arena. Every kernel writes directly into its planned arena slot
+// (destination passing), so after the first warm-up run an Executor performs
+// zero heap allocations per inference.
+//
+// An Executor is not safe for concurrent use; run one per goroutine
+// (Plan.AcquireExecutor hands out pooled instances). The tensor returned by
+// Run aliases the arena and is valid until the next Run on the same
+// Executor.
+type Executor struct {
+	plan    *Plan
+	arena   []float32
+	slots   []*tensor.Tensor // node ID -> value (arena view, const, or input)
+	steps   []execStep
+	scratch tensor.Scratch
+}
+
+// execStep is one operator of the precompiled schedule: the compiled op,
+// its prebuilt destination view into the arena, and the slot IDs of its
+// inputs (resolved into ins each run — only the graph input changes between
+// runs, but refreshing all of them is branch-free pointer writes).
+type execStep struct {
+	op     *CompiledOp
+	node   *graph.Node
+	insIDs []int
+	ins    []*tensor.Tensor
+	out    *tensor.Tensor
+}
+
+// NewExecutor builds an execution context for the plan: it allocates the
+// arena, materializes one tensor view per planned activation buffer, and
+// precompiles the topological schedule into a flat step list so Run touches
+// no maps and allocates nothing. It panics if the plan lacks an allocation
+// for an operator (impossible for plans built by Compile).
+func (p *Plan) NewExecutor() *Executor {
+	e := &Executor{plan: p, arena: make([]float32, p.ArenaBytes/4)}
+	maxID := 0
+	order := p.Graph.Topo()
+	for _, n := range order {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	e.slots = make([]*tensor.Tensor, maxID+1)
+	for _, n := range order {
+		if n.Kind == graph.OpConst {
+			e.slots[n.ID] = n.Value
+		}
+	}
+	e.steps = make([]execStep, len(p.Ops))
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		n := op.Node
+		al, ok := p.Alloc[n.ID]
+		if !ok {
+			panic(fmt.Sprintf("runtime: no allocation for %s", n))
+		}
+		out := tensor.From(e.arena[al.Offset/4:al.End()/4], n.OutShape...)
+		e.slots[n.ID] = out
+		st := execStep{
+			op: op, node: n, out: out,
+			insIDs: make([]int, len(n.Inputs)),
+			ins:    make([]*tensor.Tensor, len(n.Inputs)),
+		}
+		for j, in := range n.Inputs {
+			st.insIDs[j] = in.ID
+		}
+		e.steps[i] = st
+	}
+	return e
+}
+
+// Plan returns the plan this executor runs.
+func (e *Executor) Plan() *Plan { return e.plan }
+
+// Run executes the plan on the CPU, writing every activation directly into
+// its planned arena slot. The chosen implementation computes each
+// conv/dense operator, so the numerical output reflects the selected
+// (possibly quantized) kernels. The returned tensor aliases the executor's
+// arena: it is overwritten by the next Run, so callers that keep it must
+// Clone it (Plan.Run does).
+func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
+	g := e.plan.Graph
+	if !input.Shape().Equal(g.In.OutShape) {
+		return nil, fmt.Errorf("runtime: input shape %v != declared %v", input.Shape(), g.In.OutShape)
+	}
+	e.slots[g.In.ID] = input
+	for i := range e.steps {
+		st := &e.steps[i]
+		for j, id := range st.insIDs {
+			st.ins[j] = e.slots[id]
+		}
+		e.scratch.Reset()
+		if err := e.runStep(st); err != nil {
+			return nil, fmt.Errorf("runtime: executing %s: %w", st.node, err)
+		}
+	}
+	return e.slots[g.Out.ID], nil
+}
+
+// runStep dispatches one operator to its selected destination-passing
+// kernel. Conv/dense implementations apply their fused ReLU after the
+// kernel; the generic graph path handles it inside EvalNodeInto.
+func (e *Executor) runStep(st *execStep) error {
+	n, op, dst := st.node, st.op, st.out
+	switch {
+	case n.Kind == graph.OpConv && op.Impl == ImplCSR:
+		op.csrConv.ForwardInto(dst, st.ins[0], &e.scratch)
+	case n.Kind == graph.OpConv && op.Impl == ImplFactorized:
+		op.factConv.ForwardInto(dst, st.ins[0], &e.scratch)
+	case n.Kind == graph.OpConv && op.Impl == ImplIPE:
+		op.ipeConv.ForwardInto(dst, st.ins[0], &e.scratch)
+	case n.Kind == graph.OpConv && op.Impl == ImplWinograd:
+		op.winConv.ForwardInto(dst, st.ins[0], &e.scratch)
+	case n.Kind == graph.OpDense && op.Impl == ImplCSR:
+		denseCSRInto(dst, st.ins[0], op.csrDense, op.denseBias)
+	case n.Kind == graph.OpDense && op.Impl == ImplFactorized:
+		denseFactorizedInto(dst, st.ins[0], op.factDense, op.denseBias)
+	case n.Kind == graph.OpDense && op.Impl == ImplIPE:
+		op.ipeDense.ForwardInto(dst, st.ins[0], &e.scratch)
+	default:
+		// EvalNodeInto already applies FusedReLU.
+		return graph.EvalNodeInto(dst, n, st.ins)
+	}
+	if n.Attrs.FusedReLU {
+		tensor.ReLUInto(dst, dst)
+	}
+	return nil
+}
+
+// denseCSRInto computes the CSR dense layer row by row into dst. The
+// matvec is dispatched on the concrete type (no method values) to keep the
+// steady state allocation-free.
+func denseCSRInto(dst, in *tensor.Tensor, c *baseline.CSR, bias *tensor.Tensor) {
+	n, k := in.Dim(0), in.Dim(1)
+	od := dst.Data()
+	for b := 0; b < n; b++ {
+		c.MatVec(in.Data()[b*k:(b+1)*k], od[b*c.M:(b+1)*c.M])
+	}
+	addBiasRows(od, bias, n, c.M)
+}
+
+// denseFactorizedInto computes the value-factorized dense layer row by row
+// into dst.
+func denseFactorizedInto(dst, in *tensor.Tensor, f *baseline.Factorized, bias *tensor.Tensor) {
+	n, k := in.Dim(0), in.Dim(1)
+	od := dst.Data()
+	for b := 0; b < n; b++ {
+		f.MatVec(in.Data()[b*k:(b+1)*k], od[b*f.M:(b+1)*f.M])
+	}
+	addBiasRows(od, bias, n, f.M)
+}
+
+func addBiasRows(od []float32, bias *tensor.Tensor, n, m int) {
+	if bias == nil {
+		return
+	}
+	bd := bias.Data()
+	for b := 0; b < n; b++ {
+		for i := 0; i < m; i++ {
+			od[b*m+i] += bd[i]
+		}
+	}
+}
+
+// AcquireExecutor checks an Executor out of the plan's pool, building a new
+// one if the pool is empty. Return it with ReleaseExecutor when done. This
+// is the serving-path API: compile once, pool executors, run many.
+func (p *Plan) AcquireExecutor() *Executor {
+	if v := p.executors.Get(); v != nil {
+		return v.(*Executor)
+	}
+	return p.NewExecutor()
+}
+
+// ReleaseExecutor returns an Executor to the plan's pool for reuse. The
+// caller must not use the executor (or tensors returned by its Run) after
+// release.
+func (p *Plan) ReleaseExecutor(e *Executor) {
+	if e == nil || e.plan != p {
+		return
+	}
+	p.executors.Put(e)
+}

@@ -48,19 +48,29 @@ func (a *arena) alloc(size int64) int64 {
 	return off
 }
 
+// release returns a block to the free list, keeping the list offset-sorted
+// and coalesced. The list is already sorted, so instead of re-sorting it we
+// binary-search the insertion point and merge with at most the two
+// neighbors — O(log n + n) worst case for the slice shift, O(log n) when
+// the block coalesces.
 func (a *arena) release(alloc Allocation) {
-	a.free = append(a.free, alloc)
-	sort.Slice(a.free, func(i, j int) bool { return a.free[i].Offset < a.free[j].Offset })
-	// Coalesce adjacent runs.
-	out := a.free[:0]
-	for _, f := range a.free {
-		if n := len(out); n > 0 && out[n-1].End() == f.Offset {
-			out[n-1].Size += f.Size
-		} else {
-			out = append(out, f)
-		}
+	i := sort.Search(len(a.free), func(j int) bool { return a.free[j].Offset >= alloc.Offset })
+	mergePrev := i > 0 && a.free[i-1].End() == alloc.Offset
+	mergeNext := i < len(a.free) && alloc.End() == a.free[i].Offset
+	switch {
+	case mergePrev && mergeNext:
+		a.free[i-1].Size += alloc.Size + a.free[i].Size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case mergePrev:
+		a.free[i-1].Size += alloc.Size
+	case mergeNext:
+		a.free[i].Offset = alloc.Offset
+		a.free[i].Size += alloc.Size
+	default:
+		a.free = append(a.free, Allocation{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = alloc
 	}
-	a.free = out
 }
 
 // PlanMemory assigns arena offsets to the output buffers of every

@@ -136,6 +136,10 @@ type Plan struct {
 	// Total is the modeled whole-network execution.
 	Total accel.Result
 	Opts  Options
+
+	// executors recycles Executors across Run/RunBatch calls so steady-state
+	// inference reuses warm arenas instead of reallocating them.
+	executors sync.Pool
 }
 
 // Compile optimizes g in place, plans memory, builds every candidate
@@ -428,102 +432,19 @@ func chooseImpl(cands map[Impl]accel.Result, force Impl) Impl {
 	return best
 }
 
-// Run executes the plan on the CPU. Activations live in a single arena
-// laid out by the memory planner; the chosen implementation computes each
-// conv/dense operator, so the numerical output reflects the selected
-// (possibly quantized) kernels.
+// Run executes the plan on the CPU using a pooled Executor: every kernel
+// writes directly into its planned arena slot (destination passing). The
+// returned tensor is an independent copy, so it stays valid after the
+// executor goes back to the pool; serving paths that want the zero-copy
+// result should use AcquireExecutor/Executor.Run directly.
 func (p *Plan) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
-	g := p.Graph
-	if !input.Shape().Equal(g.In.OutShape) {
-		return nil, fmt.Errorf("runtime: input shape %v != declared %v", input.Shape(), g.In.OutShape)
+	e := p.AcquireExecutor()
+	defer p.ReleaseExecutor(e)
+	out, err := e.Run(input)
+	if err != nil {
+		return nil, err
 	}
-	arena := make([]float32, p.ArenaBytes/4)
-	vals := make(map[*graph.Node]*tensor.Tensor)
-	vals[g.In] = input
-	ops := make(map[*graph.Node]*CompiledOp, len(p.Ops))
-	for i := range p.Ops {
-		ops[p.Ops[i].Node] = &p.Ops[i]
-	}
-	for _, n := range g.Topo() {
-		if n.Kind == graph.OpInput {
-			continue
-		}
-		if n.Kind == graph.OpConst {
-			vals[n] = n.Value
-			continue
-		}
-		op := ops[n]
-		out, err := p.runOp(op, n, vals)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: executing %s: %w", n, err)
-		}
-		if n.Attrs.FusedReLU && n.Kind != graph.OpConv && n.Kind != graph.OpDense {
-			out = tensor.ReLU(out)
-		}
-		// Copy into the planned arena slot so the planner's aliasing
-		// guarantees are exercised by real execution.
-		al, ok := p.Alloc[n.ID]
-		if !ok {
-			return nil, fmt.Errorf("runtime: no allocation for %s", n)
-		}
-		buf := arena[al.Offset/4 : al.End()/4]
-		copy(buf, out.Data())
-		vals[n] = tensor.From(buf, out.Shape()...)
-	}
-	return vals[g.Out], nil
-}
-
-func (p *Plan) runOp(op *CompiledOp, n *graph.Node, vals map[*graph.Node]*tensor.Tensor) (*tensor.Tensor, error) {
-	ins := make([]*tensor.Tensor, len(n.Inputs))
-	for i, in := range n.Inputs {
-		ins[i] = vals[in]
-	}
-	var out *tensor.Tensor
-	switch {
-	case n.Kind == graph.OpConv && op.Impl == ImplCSR:
-		out = op.csrConv.Forward(ins[0])
-	case n.Kind == graph.OpConv && op.Impl == ImplFactorized:
-		out = op.factConv.Forward(ins[0])
-	case n.Kind == graph.OpConv && op.Impl == ImplIPE:
-		out = op.ipeConv.Forward(ins[0])
-	case n.Kind == graph.OpConv && op.Impl == ImplWinograd:
-		out = op.winConv.Forward(ins[0])
-	case n.Kind == graph.OpDense && op.Impl == ImplCSR:
-		out = denseViaMatVec(ins[0], op.csrDense.MatVec, op.csrDense.M, op.denseBias)
-	case n.Kind == graph.OpDense && op.Impl == ImplFactorized:
-		out = denseViaMatVec(ins[0], op.factDense.MatVec, op.factDense.M, op.denseBias)
-	case n.Kind == graph.OpDense && op.Impl == ImplIPE:
-		out = op.ipeDense.Forward(ins[0])
-	default:
-		var err error
-		out, err = graph.EvalNode(n, ins)
-		if err != nil {
-			return nil, err
-		}
-		return out, nil // EvalNode already applied FusedReLU
-	}
-	if n.Attrs.FusedReLU {
-		out = tensor.ReLU(out)
-	}
-	return out, nil
-}
-
-func denseViaMatVec(in *tensor.Tensor, matvec func(x, y []float32), m int, bias *tensor.Tensor) *tensor.Tensor {
-	n, k := in.Dim(0), in.Dim(1)
-	out := tensor.New(n, m)
-	for b := 0; b < n; b++ {
-		matvec(in.Data()[b*k:(b+1)*k], out.Data()[b*m:(b+1)*m])
-	}
-	if bias != nil {
-		bd := bias.Data()
-		od := out.Data()
-		for b := 0; b < n; b++ {
-			for i := 0; i < m; i++ {
-				od[b*m+i] += bd[i]
-			}
-		}
-	}
-	return out
+	return out.Clone(), nil
 }
 
 // ImplCounts tallies how many conv/dense operators chose each
@@ -540,9 +461,11 @@ func (p *Plan) ImplCounts() map[Impl]int {
 
 // RunBatch executes the plan over a batch larger than the graph's compiled
 // batch by slicing the input along dimension 0 into compiled-batch chunks
-// and running them on parallel workers. Each worker owns a private arena
-// (Run allocates per call), so execution is safe and deterministic. The
-// input batch must be a multiple of the compiled batch.
+// and running them on parallel workers. Each worker checks one Executor out
+// of the plan's pool for its whole chunk stream — private arena, zero
+// steady-state allocations — and copies each chunk's output into its
+// disjoint region of the preallocated result, so execution is safe and
+// deterministic. The input batch must be a multiple of the compiled batch.
 func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, error) {
 	compiled := p.Graph.In.OutShape[0]
 	total := input.Dim(0)
@@ -550,15 +473,18 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 		return nil, fmt.Errorf("runtime: batch %d is not a multiple of the compiled batch %d", total, compiled)
 	}
 	inShape := p.Graph.In.OutShape
-	perChunk := input.NumElements() / (total / compiled)
 	chunks := total / compiled
+	perChunk := input.NumElements() / chunks
 	if workers <= 0 {
 		workers = goruntime.GOMAXPROCS(0)
 	}
 	if workers > chunks {
 		workers = chunks
 	}
-	outs := make([]*tensor.Tensor, chunks)
+	outShape := p.Graph.Out.OutShape.Clone()
+	outShape[0] *= chunks
+	result := tensor.New(outShape...)
+	perOut := result.NumElements() / chunks
 	errs := make([]error, chunks)
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -566,9 +492,16 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			e := p.AcquireExecutor()
+			defer p.ReleaseExecutor(e)
 			for i := range next {
 				chunk := tensor.From(input.Data()[i*perChunk:(i+1)*perChunk], inShape...)
-				outs[i], errs[i] = p.Run(chunk)
+				out, err := e.Run(chunk)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				copy(result.Data()[i*perOut:(i+1)*perOut], out.Data())
 			}
 		}()
 	}
@@ -581,14 +514,6 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 		if err != nil {
 			return nil, err
 		}
-	}
-	// Stitch chunk outputs along dim 0.
-	outShape := outs[0].Shape().Clone()
-	outShape[0] *= chunks
-	result := tensor.New(outShape...)
-	per := outs[0].NumElements()
-	for i, o := range outs {
-		copy(result.Data()[i*per:(i+1)*per], o.Data())
 	}
 	return result, nil
 }

@@ -70,6 +70,20 @@ func (s ConvSpec) MACs(n, h, w int) int64 {
 // The result is NCHW [n, outC, oh, ow].
 func Conv2D(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
 	spec = spec.Normalize()
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output %dx%d", oh, ow))
+	}
+	out := New(n, spec.OutC, oh, ow)
+	Conv2DInto(out, in, weight, bias, spec)
+	return out
+}
+
+// Conv2DInto is Conv2D writing into a preallocated destination of shape
+// [n, outC, oh, ow]. dst must not alias in.
+func Conv2DInto(dst, in, weight, bias *Tensor, spec ConvSpec) {
+	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
@@ -81,13 +95,12 @@ func Conv2D(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
 		panic(fmt.Sprintf("tensor: Conv2D weight shape %v != expected %v", weight.Shape(), spec.WeightShape()))
 	}
 	oh, ow := spec.OutDims(h, w)
-	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: Conv2D produces empty output %dx%d", oh, ow))
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("tensor: Conv2DInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
 	}
-	out := New(n, spec.OutC, oh, ow)
 	icg := spec.InC / spec.Groups  // input channels per group
 	ocg := spec.OutC / spec.Groups // output channels per group
-	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	ind, wd, od := in.Data(), weight.Data(), dst.Data()
 	for b := 0; b < n; b++ {
 		for oc := 0; oc < spec.OutC; oc++ {
 			g := oc / ocg
@@ -123,7 +136,6 @@ func Conv2D(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Im2col lowers an NCHW input to the im2col matrix of shape
@@ -142,11 +154,26 @@ func Im2col(in *Tensor, b int, spec ConvSpec) *Tensor {
 // matrix of shape [icg*kH*kW, oh*ow], where icg = inC/groups.
 func Im2colGroup(in *Tensor, b, g int, spec ConvSpec) *Tensor {
 	spec = spec.Normalize()
-	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	h, w := in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
 	icg := spec.InC / spec.Groups
 	out := New(icg*spec.KH*spec.KW, oh*ow)
-	ind, od := in.Data(), out.Data()
+	Im2colGroupInto(out.Data(), in, b, g, spec)
+	return out
+}
+
+// Im2colGroupInto is Im2colGroup writing into a caller-provided buffer of at
+// least icg*kH*kW*oh*ow floats (e.g. from a Scratch). Every element is
+// written, so the buffer need not be zeroed.
+func Im2colGroupInto(dst []float32, in *Tensor, b, g int, spec ConvSpec) {
+	spec = spec.Normalize()
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	icg := spec.InC / spec.Groups
+	if len(dst) < icg*spec.KH*spec.KW*oh*ow {
+		panic(fmt.Sprintf("tensor: Im2colGroupInto dst %d < %d", len(dst), icg*spec.KH*spec.KW*oh*ow))
+	}
+	ind, od := in.Data(), dst
 	for ic := 0; ic < icg; ic++ {
 		cIn := g*icg + ic
 		for ky := 0; ky < spec.KH; ky++ {
@@ -167,7 +194,6 @@ func Im2colGroup(in *Tensor, b, g int, spec ConvSpec) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Conv2DIm2col computes convolution by im2col lowering followed by GEMM.
@@ -208,20 +234,45 @@ func Conv2DIm2col(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
 
 // ReLU applies max(0, x) elementwise, returning a new tensor.
 func ReLU(in *Tensor) *Tensor {
-	out := in.Clone()
-	d := out.Data()
-	for i, v := range d {
+	out := New(in.Shape()...)
+	ReLUInto(out, in)
+	return out
+}
+
+// ReLUInto writes max(0, x) into dst. dst may alias in (in-place ReLU).
+func ReLUInto(dst, in *Tensor) {
+	if dst.NumElements() != in.NumElements() {
+		panic(fmt.Sprintf("tensor: ReLUInto dst %v != in %v", dst.Shape(), in.Shape()))
+	}
+	id, od := in.Data(), dst.Data()
+	for i, v := range id {
 		if v < 0 {
-			d[i] = 0
+			od[i] = 0
+		} else {
+			od[i] = v
 		}
 	}
-	return out
 }
 
 // AddTensors returns the elementwise sum of two same-shape tensors.
 func AddTensors(a, b *Tensor) *Tensor {
-	out := a.Clone()
-	return out.Add(b)
+	out := New(a.Shape()...)
+	AddInto(out, a, b)
+	return out
+}
+
+// AddInto writes a+b elementwise into dst. dst may alias either operand.
+func AddInto(dst, a, b *Tensor) {
+	if !a.Shape().Equal(b.Shape()) {
+		panic(fmt.Sprintf("tensor: add shape mismatch %v vs %v", a.Shape(), b.Shape()))
+	}
+	if dst.NumElements() != a.NumElements() {
+		panic(fmt.Sprintf("tensor: AddInto dst %v != operands %v", dst.Shape(), a.Shape()))
+	}
+	ad, bd, od := a.Data(), b.Data(), dst.Data()
+	for i := range od {
+		od[i] = ad[i] + bd[i]
+	}
 }
 
 // MaxPool2D computes max pooling over an NCHW tensor.
@@ -230,7 +281,19 @@ func MaxPool2D(in *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
 	oh := (h+2*padH-kh)/strideH + 1
 	ow := (w+2*padW-kw)/strideW + 1
 	out := New(n, c, oh, ow)
-	ind, od := in.Data(), out.Data()
+	MaxPool2DInto(out, in, kh, kw, strideH, strideW, padH, padW)
+	return out
+}
+
+// MaxPool2DInto is MaxPool2D writing into a preallocated destination.
+func MaxPool2DInto(dst, in *Tensor, kh, kw, strideH, strideW, padH, padW int) {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*padH-kh)/strideH + 1
+	ow := (w+2*padW-kw)/strideW + 1
+	if dst.NumElements() != n*c*oh*ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto dst %v != [%d %d %d %d]", dst.Shape(), n, c, oh, ow))
+	}
+	ind, od := in.Data(), dst.Data()
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := (b*c + ch) * h * w
@@ -260,7 +323,6 @@ func MaxPool2D(in *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // AvgPool2D computes average pooling over an NCHW tensor, dividing by the
@@ -270,7 +332,19 @@ func AvgPool2D(in *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
 	oh := (h+2*padH-kh)/strideH + 1
 	ow := (w+2*padW-kw)/strideW + 1
 	out := New(n, c, oh, ow)
-	ind, od := in.Data(), out.Data()
+	AvgPool2DInto(out, in, kh, kw, strideH, strideW, padH, padW)
+	return out
+}
+
+// AvgPool2DInto is AvgPool2D writing into a preallocated destination.
+func AvgPool2DInto(dst, in *Tensor, kh, kw, strideH, strideW, padH, padW int) {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*padH-kh)/strideH + 1
+	ow := (w+2*padW-kw)/strideW + 1
+	if dst.NumElements() != n*c*oh*ow {
+		panic(fmt.Sprintf("tensor: AvgPool2DInto dst %v != [%d %d %d %d]", dst.Shape(), n, c, oh, ow))
+	}
+	ind, od := in.Data(), dst.Data()
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			base := (b*c + ch) * h * w
@@ -292,22 +366,34 @@ func AvgPool2D(in *Tensor, kh, kw, strideH, strideW, padH, padW int) *Tensor {
 							cnt++
 						}
 					}
+					var v float32
 					if cnt > 0 {
-						od[((b*c+ch)*oh+oy)*ow+ox] = sum / float32(cnt)
+						v = sum / float32(cnt)
 					}
+					od[((b*c+ch)*oh+oy)*ow+ox] = v
 				}
 			}
 		}
 	}
-	return out
 }
 
 // GlobalAvgPool2D reduces each channel's spatial plane to its mean,
 // producing an NCHW tensor with 1×1 spatial extent.
 func GlobalAvgPool2D(in *Tensor) *Tensor {
-	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	n, c := in.Dim(0), in.Dim(1)
 	out := New(n, c, 1, 1)
-	ind, od := in.Data(), out.Data()
+	GlobalAvgPool2DInto(out, in)
+	return out
+}
+
+// GlobalAvgPool2DInto is GlobalAvgPool2D writing into a preallocated
+// [n, c, 1, 1] destination.
+func GlobalAvgPool2DInto(dst, in *Tensor) {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	if dst.NumElements() != n*c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2DInto dst %v != [%d %d 1 1]", dst.Shape(), n, c))
+	}
+	ind, od := in.Data(), dst.Data()
 	hw := h * w
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -319,16 +405,25 @@ func GlobalAvgPool2D(in *Tensor) *Tensor {
 			od[b*c+ch] = float32(s / float64(hw))
 		}
 	}
-	return out
 }
 
 // BatchNorm applies inference-mode batch normalization per channel:
 // y = gamma*(x-mean)/sqrt(var+eps) + beta. All parameter tensors have
 // shape [c].
 func BatchNorm(in, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	out := New(in.Shape()...)
+	BatchNormInto(out, in, gamma, beta, mean, variance, eps)
+	return out
+}
+
+// BatchNormInto is BatchNorm writing into a preallocated destination of the
+// input's shape. dst may alias in.
+func BatchNormInto(dst, in, gamma, beta, mean, variance *Tensor, eps float32) {
 	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
-	out := New(n, c, h, w)
-	ind, od := in.Data(), out.Data()
+	if dst.NumElements() != in.NumElements() {
+		panic(fmt.Sprintf("tensor: BatchNormInto dst %v != in %v", dst.Shape(), in.Shape()))
+	}
+	ind, od := in.Data(), dst.Data()
 	g, bt, mu, va := gamma.Data(), beta.Data(), mean.Data(), variance.Data()
 	hw := h * w
 	for b := 0; b < n; b++ {
@@ -341,7 +436,6 @@ func BatchNorm(in, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 func sqrt32(x float32) float32 {
@@ -360,13 +454,23 @@ func sqrt32(x float32) float32 {
 // Dense computes a fully connected layer y = W·x + b for each batch row.
 // in is [n, k]; weight is [m, k]; bias may be nil or [m]. Result is [n, m].
 func Dense(in, weight, bias *Tensor) *Tensor {
+	out := New(in.Dim(0), weight.Dim(0))
+	DenseInto(out, in, weight, bias)
+	return out
+}
+
+// DenseInto is Dense writing into a preallocated [n, m] destination. dst
+// must not alias in.
+func DenseInto(dst, in, weight, bias *Tensor) {
 	n, k := in.Dim(0), in.Dim(1)
 	m, k2 := weight.Dim(0), weight.Dim(1)
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: Dense inner dims differ: input %d vs weight %d", k, k2))
 	}
-	out := New(n, m)
-	ind, wd, od := in.Data(), weight.Data(), out.Data()
+	if dst.NumElements() != n*m {
+		panic(fmt.Sprintf("tensor: DenseInto dst %v != [%d %d]", dst.Shape(), n, m))
+	}
+	ind, wd, od := in.Data(), weight.Data(), dst.Data()
 	for b := 0; b < n; b++ {
 		MatVec(wd, ind[b*k:(b+1)*k], od[b*m:(b+1)*m], m, k)
 		if bias != nil {
@@ -376,15 +480,24 @@ func Dense(in, weight, bias *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Softmax applies a numerically stable softmax along the last dimension of a
 // rank-2 tensor.
 func Softmax(in *Tensor) *Tensor {
+	out := New(in.Dim(0), in.Dim(1))
+	SoftmaxInto(out, in)
+	return out
+}
+
+// SoftmaxInto is Softmax writing into a preallocated [n, k] destination.
+// dst may alias in.
+func SoftmaxInto(dst, in *Tensor) {
 	n, k := in.Dim(0), in.Dim(1)
-	out := New(n, k)
-	ind, od := in.Data(), out.Data()
+	if dst.NumElements() != n*k {
+		panic(fmt.Sprintf("tensor: SoftmaxInto dst %v != [%d %d]", dst.Shape(), n, k))
+	}
+	ind, od := in.Data(), dst.Data()
 	for b := 0; b < n; b++ {
 		row := ind[b*k : (b+1)*k]
 		mx := row[0]
@@ -404,5 +517,4 @@ func Softmax(in *Tensor) *Tensor {
 			od[b*k+i] *= inv
 		}
 	}
-	return out
 }

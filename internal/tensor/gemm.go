@@ -41,6 +41,14 @@ func Gemm(a, b, c []float32, m, k, n int) {
 
 // GemmTensor multiplies two rank-2 tensors and returns a new m×n tensor.
 func GemmTensor(a, b *Tensor) *Tensor {
+	c := New(a.Dim(0), b.Dim(1))
+	GemmTensorInto(c, a, b)
+	return c
+}
+
+// GemmTensorInto is GemmTensor writing into a preallocated m×n destination
+// (overwritten). dst must not alias either operand.
+func GemmTensorInto(dst, a, b *Tensor) {
 	if a.Shape().Rank() != 2 || b.Shape().Rank() != 2 {
 		panic("tensor: GemmTensor requires rank-2 operands")
 	}
@@ -49,9 +57,10 @@ func GemmTensor(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: GemmTensor inner dims differ: %d vs %d", k, k2))
 	}
-	c := New(m, n)
-	Gemm(a.Data(), b.Data(), c.Data(), m, k, n)
-	return c
+	if dst.NumElements() != m*n {
+		panic(fmt.Sprintf("tensor: GemmTensorInto dst %v != [%d %d]", dst.Shape(), m, n))
+	}
+	Gemm(a.Data(), b.Data(), dst.Data(), m, k, n)
 }
 
 // MatVec computes y = A·x for a row-major m×k matrix. y is overwritten.

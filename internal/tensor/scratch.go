@@ -1,0 +1,48 @@
+package tensor
+
+// Scratch is a grow-only float32 work-buffer arena for allocation-free
+// kernel execution. Kernels Take transient buffers (im2col columns,
+// partial-sum scratchpads, accumulator rows) from it instead of calling
+// make; after the first pass through a workload the arena has reached its
+// high-water mark and every subsequent Take is a sub-slice — zero heap
+// allocations in steady state.
+//
+// The zero value is ready to use. A Scratch is not safe for concurrent use;
+// give each executor its own.
+type Scratch struct {
+	buf  []float32
+	used int
+}
+
+// Take returns a slice of n floats from the arena. The contents are
+// unspecified (previous uses leak through): callers must fully initialize
+// every element they read. Growing reallocates the backing store without
+// copying, so slices taken earlier remain valid against the old store.
+func (s *Scratch) Take(n int) []float32 {
+	if s.used+n > len(s.buf) {
+		size := 2 * len(s.buf)
+		if size < s.used+n {
+			size = s.used + n
+		}
+		s.buf = make([]float32, size)
+	}
+	out := s.buf[s.used : s.used+n : s.used+n]
+	s.used += n
+	return out
+}
+
+// Mark returns the current allocation watermark, to be passed to Release.
+func (s *Scratch) Mark() int { return s.used }
+
+// Release rewinds the arena to a watermark obtained from Mark, invalidating
+// every slice taken since. Use it around per-iteration Takes inside loops so
+// the footprint stays bounded by one iteration.
+func (s *Scratch) Release(mark int) { s.used = mark }
+
+// Reset rewinds the whole arena, invalidating all outstanding slices. The
+// backing store is kept, so the next pass runs allocation-free.
+func (s *Scratch) Reset() { s.used = 0 }
+
+// Cap returns the capacity of the backing store in floats — the high-water
+// footprint the scratch has grown to.
+func (s *Scratch) Cap() int { return len(s.buf) }

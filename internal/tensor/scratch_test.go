@@ -1,0 +1,69 @@
+package tensor
+
+import "testing"
+
+func TestScratchTakeGrowsWithoutInvalidating(t *testing.T) {
+	var s Scratch
+	a := s.Take(4)
+	for i := range a {
+		a[i] = float32(i + 1)
+	}
+	b := s.Take(1024) // forces growth; a must stay valid
+	if len(b) != 1024 {
+		t.Fatalf("Take(1024) returned %d elements", len(b))
+	}
+	for i := range a {
+		if a[i] != float32(i+1) {
+			t.Fatalf("earlier slice invalidated by growth at %d: %v", i, a[i])
+		}
+	}
+	if s.Cap() < 1028 {
+		t.Fatalf("cap %d < 1028 after growth", s.Cap())
+	}
+}
+
+func TestScratchTakeSlicesAreDisjoint(t *testing.T) {
+	var s Scratch
+	s.Take(64) // warm
+	s.Reset()
+	a := s.Take(8)
+	b := s.Take(8)
+	for i := range a {
+		a[i] = 1
+	}
+	for i := range b {
+		if b[i] == 1 {
+			t.Fatalf("Take slices overlap at %d", i)
+		}
+	}
+	// Full slice expressions: appending to a must not spill into b.
+	a = append(a, 7)
+	if b[0] == 7 {
+		t.Fatal("append to a Take slice clobbered the next slice")
+	}
+}
+
+func TestScratchMarkRelease(t *testing.T) {
+	var s Scratch
+	s.Take(16)
+	m := s.Mark()
+	s.Take(100)
+	s.Release(m)
+	if got := s.Mark(); got != m {
+		t.Fatalf("Release did not rewind: mark %d != %d", got, m)
+	}
+	// After a warm-up pass, repeated take/release cycles must not allocate.
+	s.Reset()
+	s.Take(256)
+	s.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		mark := s.Mark()
+		s.Take(64)
+		s.Take(128)
+		s.Release(mark)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm scratch allocates %.1f times per cycle, want 0", allocs)
+	}
+}
