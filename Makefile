@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet bench bench-json
 
-verify: build test
+verify: build test race
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The executor and the encoded kernels are the concurrency-sensitive
-# packages (pooled executors, parallel compile, RunBatch workers).
+# Intra-op sharding makes every kernel package concurrency-sensitive, so the
+# race detector runs over the whole module (and gates verify).
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/ipe/...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Paired serial-vs-sharded wall-time measurements for the intra-op pool.
+bench-json:
+	$(GO) run ./cmd/inspire-perf > BENCH_2.json

@@ -91,12 +91,35 @@ func (c *CSR) MatMatInto(dst, b []float32, p int) {
 	if len(b) < c.K*p || len(dst) < c.M*p {
 		panic("baseline: CSR MatMatInto buffers too small")
 	}
-	bd, od := b, dst
-	for i := range od[:c.M*p] {
-		od[i] = 0
+	c.matMatRows(dst, b, p, 0, c.M)
+}
+
+// MatMatIntoPar is MatMatInto sharded over output rows on the given
+// parallelism context (nil par or one shard runs serially). Rows are
+// disjoint and each row's accumulation walk is untouched, so results are
+// bit-identical to the serial kernel for any shard count.
+func (c *CSR) MatMatIntoPar(dst, b []float32, p int, par *tensor.Par) {
+	if len(b) < c.K*p || len(dst) < c.M*p {
+		panic("baseline: CSR MatMatInto buffers too small")
 	}
-	for r := 0; r < c.M; r++ {
+	if par.Parallel() {
+		par.For(c.M, func(shard, lo, hi int) {
+			c.matMatRows(dst, b, p, lo, hi)
+		})
+		return
+	}
+	c.matMatRows(dst, b, p, 0, c.M)
+}
+
+// matMatRows computes output rows [lo, hi), zeroing each before its
+// nonzeros accumulate into it.
+func (c *CSR) matMatRows(dst, b []float32, p, lo, hi int) {
+	bd, od := b, dst
+	for r := lo; r < hi; r++ {
 		dst := od[r*p : (r+1)*p]
+		for j := range dst {
+			dst[j] = 0
+		}
 		for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
 			v := c.Val[i]
 			src := bd[int(c.Col[i])*p : int(c.Col[i])*p+p]
@@ -174,20 +197,55 @@ func (l *ConvCSR) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 		for g := 0; g < spec.Groups; g++ {
 			tensor.Im2colGroupInto(col, in, b, g, spec)
 			l.Mats[g].MatMatInto(res, col, oh*ow)
-			for oc := 0; oc < ocg; oc++ {
-				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
-				var bv float32
-				if l.Bias != nil {
-					bv = l.Bias.Data()[g*ocg+oc]
-				}
-				src := res[oc*oh*ow : (oc+1)*oh*ow]
-				for i, v := range src {
-					dst[i] = v + bv
-				}
-			}
+			addConvBias(od, res, l.Bias, spec.OutC, b, g, ocg, oh*ow)
 		}
 	}
 	s.Release(mark)
+}
+
+// ForwardIntoPar is ForwardInto sharded on the given parallelism context:
+// im2col over matrix rows, the sparse matmul over output channels. The
+// shared col/res staging buffers come from shard 0's scratch, taken before
+// each parallel region and released after it joins. Results are
+// bit-identical to ForwardInto.
+func (l *ConvCSR) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	od := dst.Data()
+	s0 := par.Scratch(0)
+	mark := s0.Mark()
+	col := s0.Take(icg * spec.KH * spec.KW * oh * ow)
+	res := s0.Take(ocg * oh * ow)
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			tensor.Im2colGroupIntoPar(col, in, b, g, spec, par)
+			l.Mats[g].MatMatIntoPar(res, col, oh*ow, par)
+			addConvBias(od, res, l.Bias, spec.OutC, b, g, ocg, oh*ow)
+		}
+	}
+	s0.Release(mark)
+}
+
+// addConvBias copies group g's [ocg, hw] result block into the output of
+// batch element b, adding the per-channel bias.
+func addConvBias(od, res []float32, bias *tensor.Tensor, outC, b, g, ocg, hw int) {
+	for oc := 0; oc < ocg; oc++ {
+		dst := od[(b*outC+g*ocg+oc)*hw : (b*outC+g*ocg+oc)*hw+hw]
+		var bv float32
+		if bias != nil {
+			bv = bias.Data()[g*ocg+oc]
+		}
+		src := res[oc*hw : (oc+1)*hw]
+		for i, v := range src {
+			dst[i] = v + bv
+		}
+	}
 }
 
 // NNZ returns the total stored nonzeros across groups.

@@ -100,13 +100,43 @@ func (f *Factorized) MatMatInto(dst, b []float32, p int, group []float32) {
 	if len(b) < f.K*p || len(dst) < f.M*p || len(group) < p {
 		panic("baseline: Factorized MatMatInto buffers too small")
 	}
-	bd, od := b, dst
-	for i := range od[:f.M*p] {
-		od[i] = 0
+	f.matMatRows(dst, b, p, group, 0, f.M)
+}
+
+// MatMatIntoPar is MatMatInto sharded over output rows on the given
+// parallelism context, each shard taking its private group work buffer
+// from its scratch (one shard runs serially on shard 0's scratch). Rows
+// are disjoint and each row's term walk is untouched, so results are
+// bit-identical to the serial kernel for any shard count.
+func (f *Factorized) MatMatIntoPar(dst, b []float32, p int, par *tensor.Par) {
+	if len(b) < f.K*p || len(dst) < f.M*p {
+		panic("baseline: Factorized MatMatInto buffers too small")
 	}
+	if par.Parallel() {
+		par.For(f.M, func(shard, lo, hi int) {
+			s := par.Scratch(shard)
+			mark := s.Mark()
+			f.matMatRows(dst, b, p, s.Take(p), lo, hi)
+			s.Release(mark)
+		})
+		return
+	}
+	s := par.Scratch(0)
+	mark := s.Mark()
+	f.matMatRows(dst, b, p, s.Take(p), 0, f.M)
+	s.Release(mark)
+}
+
+// matMatRows computes output rows [lo, hi), zeroing each before its value
+// groups accumulate into it. group is a work buffer of at least p floats.
+func (f *Factorized) matMatRows(dst, b []float32, p int, group []float32, lo, hi int) {
+	bd, od := b, dst
 	group = group[:p]
-	for r := range f.Rows {
+	for r := lo; r < hi; r++ {
 		dst := od[r*p : (r+1)*p]
+		for j := range dst[:p] {
+			dst[j] = 0
+		}
 		for _, t := range f.Rows[r].Terms {
 			for j := range group {
 				group[j] = 0
@@ -221,20 +251,39 @@ func (l *ConvFactorized) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) 
 		for g := 0; g < spec.Groups; g++ {
 			tensor.Im2colGroupInto(col, in, b, g, spec)
 			l.Mats[g].MatMatInto(res, col, oh*ow, group)
-			for oc := 0; oc < ocg; oc++ {
-				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
-				var bv float32
-				if l.Bias != nil {
-					bv = l.Bias.Data()[g*ocg+oc]
-				}
-				src := res[oc*oh*ow : (oc+1)*oh*ow]
-				for i, v := range src {
-					dst[i] = v + bv
-				}
-			}
+			addConvBias(od, res, l.Bias, spec.OutC, b, g, ocg, oh*ow)
 		}
 	}
 	s.Release(mark)
+}
+
+// ForwardIntoPar is ForwardInto sharded on the given parallelism context:
+// im2col over matrix rows, the factorized matmul over output channels with
+// per-shard group buffers. The shared col/res staging buffers come from
+// shard 0's scratch, taken before each parallel region and released after
+// it joins. Results are bit-identical to ForwardInto.
+func (l *ConvFactorized) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	od := dst.Data()
+	s0 := par.Scratch(0)
+	mark := s0.Mark()
+	col := s0.Take(icg * spec.KH * spec.KW * oh * ow)
+	res := s0.Take(ocg * oh * ow)
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			tensor.Im2colGroupIntoPar(col, in, b, g, spec, par)
+			l.Mats[g].MatMatIntoPar(res, col, oh*ow, par)
+			addConvBias(od, res, l.Bias, spec.OutC, b, g, ocg, oh*ow)
+		}
+	}
+	s0.Release(mark)
 }
 
 // Cost aggregates the per-pixel arithmetic cost across groups.

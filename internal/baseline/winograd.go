@@ -136,69 +136,109 @@ func (l *ConvWinograd) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 	if dst.NumElements() != n*spec.OutC*oh*ow {
 		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
 	}
+	nTilesY := (oh + 1) / 2
+	mark := s.Mark()
+	vTiles := s.Take(c * 16) // transformed input tiles, 16 floats per channel
+	l.forwardTileRows(dst, in, oh, ow, vTiles, 0, n*nTilesY)
+	s.Release(mark)
+}
+
+// ForwardIntoPar is ForwardInto sharded over flattened (batch, tile-row)
+// units on the given parallelism context, each shard holding its private
+// transformed-tile buffer in its scratch (one shard runs serially on shard
+// 0's scratch). Tile rows own disjoint output rows and every tile's
+// transforms are untouched, so results are bit-identical to ForwardInto.
+// Sharding over tile rows rather than output channels keeps each input
+// tile's transform computed once per shard instead of once per channel.
+func (l *ConvWinograd) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	spec := l.Spec
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("baseline: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	nTilesY := (oh + 1) / 2
+	units := n * nTilesY
+	if par.Parallel() {
+		par.For(units, func(shard, lo, hi int) {
+			s := par.Scratch(shard)
+			mark := s.Mark()
+			l.forwardTileRows(dst, in, oh, ow, s.Take(c*16), lo, hi)
+			s.Release(mark)
+		})
+		return
+	}
+	s := par.Scratch(0)
+	mark := s.Mark()
+	l.forwardTileRows(dst, in, oh, ow, s.Take(c*16), 0, units)
+	s.Release(mark)
+}
+
+// forwardTileRows computes the flattened (batch, tile-row) units [lo, hi),
+// where unit u covers output rows 2·(u%nTilesY) and 2·(u%nTilesY)+1 of
+// batch element u/nTilesY. vTiles is a work buffer of c·16 floats.
+func (l *ConvWinograd) forwardTileRows(dst, in *tensor.Tensor, oh, ow int, vTiles []float32, lo, hi int) {
+	spec := l.Spec
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
 	ind, od := in.Data(), dst.Data()
 	nTilesY := (oh + 1) / 2
 	nTilesX := (ow + 1) / 2
-	mark := s.Mark()
-	vTiles := s.Take(c * 16) // transformed input tiles, 16 floats per channel
-	for b := 0; b < n; b++ {
-		for ty := 0; ty < nTilesY; ty++ {
-			for tx := 0; tx < nTilesX; tx++ {
-				iy0 := ty*2 - spec.PadH
-				ix0 := tx*2 - spec.PadW
-				for ic := 0; ic < c; ic++ {
-					var d [16]float32
-					base := (b*c + ic) * h * w
-					for r := 0; r < 4; r++ {
-						iy := iy0 + r
-						if iy < 0 || iy >= h {
+	for u := lo; u < hi; u++ {
+		b, ty := u/nTilesY, u%nTilesY
+		for tx := 0; tx < nTilesX; tx++ {
+			iy0 := ty*2 - spec.PadH
+			ix0 := tx*2 - spec.PadW
+			for ic := 0; ic < c; ic++ {
+				var d [16]float32
+				base := (b*c + ic) * h * w
+				for r := 0; r < 4; r++ {
+					iy := iy0 + r
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for cc := 0; cc < 4; cc++ {
+						ix := ix0 + cc
+						if ix < 0 || ix >= w {
 							continue
 						}
-						for cc := 0; cc < 4; cc++ {
-							ix := ix0 + cc
-							if ix < 0 || ix >= w {
-								continue
-							}
-							d[r*4+cc] = ind[base+iy*w+ix]
-						}
+						d[r*4+cc] = ind[base+iy*w+ix]
 					}
-					v := inputTransform(d)
-					copy(vTiles[ic*16:ic*16+16], v[:])
 				}
-				for oc := 0; oc < spec.OutC; oc++ {
-					var m [16]float32
-					uRow := l.U[oc]
-					for ic := 0; ic < c; ic++ {
-						u := &uRow[ic]
-						v := vTiles[ic*16 : ic*16+16]
-						for i := 0; i < 16; i++ {
-							m[i] += u[i] * v[i]
-						}
+				v := inputTransform(d)
+				copy(vTiles[ic*16:ic*16+16], v[:])
+			}
+			for oc := 0; oc < spec.OutC; oc++ {
+				var m [16]float32
+				uRow := l.U[oc]
+				for ic := 0; ic < c; ic++ {
+					u := &uRow[ic]
+					v := vTiles[ic*16 : ic*16+16]
+					for i := 0; i < 16; i++ {
+						m[i] += u[i] * v[i]
 					}
-					y := outputTransform(m)
-					var bv float32
-					if l.Bias != nil {
-						bv = l.Bias.Data()[oc]
+				}
+				y := outputTransform(m)
+				var bv float32
+				if l.Bias != nil {
+					bv = l.Bias.Data()[oc]
+				}
+				obase := (b*spec.OutC + oc) * oh * ow
+				for r := 0; r < 2; r++ {
+					oy := ty*2 + r
+					if oy >= oh {
+						continue
 					}
-					obase := (b*spec.OutC + oc) * oh * ow
-					for r := 0; r < 2; r++ {
-						oy := ty*2 + r
-						if oy >= oh {
+					for cc := 0; cc < 2; cc++ {
+						ox := tx*2 + cc
+						if ox >= ow {
 							continue
 						}
-						for cc := 0; cc < 2; cc++ {
-							ox := tx*2 + cc
-							if ox >= ow {
-								continue
-							}
-							od[obase+oy*ow+ox] = y[r*2+cc] + bv
-						}
+						od[obase+oy*ow+ox] = y[r*2+cc] + bv
 					}
 				}
 			}
 		}
 	}
-	s.Release(mark)
 }
 
 // Cost returns the per-inference arithmetic cost for an input of h×w with

@@ -121,6 +121,25 @@ func EvalNodeInto(dst *tensor.Tensor, n *Node, ins []*tensor.Tensor) error {
 	return nil
 }
 
+// EvalNodeIntoPar is EvalNodeInto with the heavy operators (conv, dense)
+// sharded on the given parallelism context; everything else runs serially
+// through EvalNodeInto. Results are bit-identical to EvalNodeInto for any
+// shard count.
+func EvalNodeIntoPar(dst *tensor.Tensor, n *Node, ins []*tensor.Tensor, par *tensor.Par) error {
+	switch n.Kind {
+	case OpConv:
+		tensor.Conv2DIntoPar(dst, ins[0], n.Param("weight"), n.Param("bias"), n.Attrs.Conv, par)
+	case OpDense:
+		tensor.DenseIntoPar(dst, ins[0], n.Param("weight"), n.Param("bias"), par)
+	default:
+		return EvalNodeInto(dst, n, ins)
+	}
+	if n.Attrs.FusedReLU {
+		tensor.ReLUInto(dst, dst)
+	}
+	return nil
+}
+
 // concatChannels concatenates NCHW tensors along the channel dimension.
 func concatChannels(ins []*tensor.Tensor) *tensor.Tensor {
 	n, h, w := ins[0].Dim(0), ins[0].Dim(2), ins[0].Dim(3)

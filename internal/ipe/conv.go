@@ -95,20 +95,57 @@ func (l *ConvLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 		for g := 0; g < spec.Groups; g++ {
 			tensor.Im2colGroupInto(col, in, b, g, spec)
 			l.Programs[g].ExecuteMatrixInto(res, col, oh*ow, s) // [ocg, oh*ow]
-			for oc := 0; oc < ocg; oc++ {
-				dst := od[((b*spec.OutC+g*ocg+oc)*oh)*ow : ((b*spec.OutC+g*ocg+oc)*oh)*ow+oh*ow]
-				src := res[oc*oh*ow : (oc+1)*oh*ow]
-				var bv float32
-				if l.Bias != nil {
-					bv = l.Bias.Data()[g*ocg+oc]
-				}
-				for i, v := range src {
-					dst[i] = v + bv
-				}
-			}
+			l.addBias(od, res, b, g, ocg, oh*ow)
 		}
 	}
 	s.Release(mark)
+}
+
+// ForwardIntoPar is ForwardInto sharded on the given parallelism context:
+// the im2col lowering shards over matrix rows and the program execution
+// over column blocks, with per-shard scratch arenas. The shared col/res
+// staging buffers come from shard 0's scratch — taken before each parallel
+// region starts and released after it joins, so no two goroutines ever use
+// one Scratch concurrently. Results are bit-identical to ForwardInto.
+func (l *ConvLayer) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	spec := l.Spec
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	if dst.NumElements() != n*spec.OutC*oh*ow {
+		panic(fmt.Sprintf("ipe: ForwardInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
+	}
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	od := dst.Data()
+	s0 := par.Scratch(0)
+	mark := s0.Mark()
+	col := s0.Take(icg * spec.KH * spec.KW * oh * ow)
+	res := s0.Take(ocg * oh * ow)
+	for b := 0; b < n; b++ {
+		for g := 0; g < spec.Groups; g++ {
+			tensor.Im2colGroupIntoPar(col, in, b, g, spec, par)
+			l.Programs[g].ExecuteMatrixIntoPar(res, col, oh*ow, par)
+			l.addBias(od, res, b, g, ocg, oh*ow)
+		}
+	}
+	s0.Release(mark)
+}
+
+// addBias copies group g's [ocg, hw] result block into the output tensor
+// of batch element b, adding the per-channel bias.
+func (l *ConvLayer) addBias(od, res []float32, b, g, ocg, hw int) {
+	spec := l.Spec
+	for oc := 0; oc < ocg; oc++ {
+		dst := od[(b*spec.OutC+g*ocg+oc)*hw : (b*spec.OutC+g*ocg+oc)*hw+hw]
+		src := res[oc*hw : (oc+1)*hw]
+		var bv float32
+		if l.Bias != nil {
+			bv = l.Bias.Data()[g*ocg+oc]
+		}
+		for i, v := range src {
+			dst[i] = v + bv
+		}
+	}
 }
 
 // Cost returns the total arithmetic cost of one forward pass over an input

@@ -5,26 +5,28 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
 // Executor is a reusable execution context for one Plan: it owns the
 // activation arena laid out by the memory planner, one prebuilt tensor view
-// per planned buffer, a flat node-ID-indexed slot table, and the kernel
-// scratch arena. Every kernel writes directly into its planned arena slot
-// (destination passing), so after the first warm-up run an Executor performs
-// zero heap allocations per inference.
+// per planned buffer, a flat node-ID-indexed slot table, and the intra-op
+// parallelism context with its per-shard kernel scratch arenas. Every
+// kernel writes directly into its planned arena slot (destination passing),
+// so after the first warm-up run an Executor at parallelism 1 performs zero
+// heap allocations per inference.
 //
 // An Executor is not safe for concurrent use; run one per goroutine
 // (Plan.AcquireExecutor hands out pooled instances). The tensor returned by
 // Run aliases the arena and is valid until the next Run on the same
 // Executor.
 type Executor struct {
-	plan    *Plan
-	arena   []float32
-	slots   []*tensor.Tensor // node ID -> value (arena view, const, or input)
-	steps   []execStep
-	scratch tensor.Scratch
+	plan  *Plan
+	arena []float32
+	slots []*tensor.Tensor // node ID -> value (arena view, const, or input)
+	steps []execStep
+	par   *tensor.Par
 }
 
 // execStep is one operator of the precompiled schedule: the compiled op,
@@ -45,7 +47,11 @@ type execStep struct {
 // no maps and allocates nothing. It panics if the plan lacks an allocation
 // for an operator (impossible for plans built by Compile).
 func (p *Plan) NewExecutor() *Executor {
-	e := &Executor{plan: p, arena: make([]float32, p.ArenaBytes/4)}
+	e := &Executor{
+		plan:  p,
+		arena: make([]float32, p.ArenaBytes/4),
+		par:   tensor.NewPar(parallel.Shared(), 0), // default GOMAXPROCS shards
+	}
 	maxID := 0
 	order := p.Graph.Topo()
 	for _, n := range order {
@@ -85,6 +91,18 @@ func (p *Plan) NewExecutor() *Executor {
 // Plan returns the plan this executor runs.
 func (e *Executor) Plan() *Plan { return e.plan }
 
+// SetParallelism sets the number of intra-op shards the heavy kernels
+// (conv, GEMM, IPE matrix execution) split their output across, drawing
+// helpers from the process-wide bounded pool (so concurrent executors
+// compose without oversubscription). n <= 0 means GOMAXPROCS (the default);
+// 1 reproduces fully serial execution with its zero-allocation guarantee.
+// Any setting yields bit-identical outputs: shards cover disjoint output
+// regions and per-output accumulation order is unchanged.
+func (e *Executor) SetParallelism(n int) { e.par.SetShards(n) }
+
+// Parallelism returns the executor's intra-op shard count.
+func (e *Executor) Parallelism() int { return e.par.Shards() }
+
 // Run executes the plan on the CPU, writing every activation directly into
 // its planned arena slot. The chosen implementation computes each
 // conv/dense operator, so the numerical output reflects the selected
@@ -102,12 +120,27 @@ func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 		for j, id := range st.insIDs {
 			st.ins[j] = e.slots[id]
 		}
-		e.scratch.Reset()
+		e.par.Reset()
 		if err := e.runStep(st); err != nil {
+			e.dropInputRefs()
 			return nil, fmt.Errorf("runtime: executing %s: %w", st.node, err)
 		}
 	}
+	e.dropInputRefs()
 	return e.slots[g.Out.ID], nil
+}
+
+// dropInputRefs clears the input slot and every resolved step input so a
+// released executor never pins the caller's input tensor in the pool (both
+// the slot table and the per-step ins caches hold it after a run).
+func (e *Executor) dropInputRefs() {
+	e.slots[e.plan.Graph.In.ID] = nil
+	for i := range e.steps {
+		ins := e.steps[i].ins
+		for j := range ins {
+			ins[j] = nil
+		}
+	}
 }
 
 // runStep dispatches one operator to its selected destination-passing
@@ -117,22 +150,22 @@ func (e *Executor) runStep(st *execStep) error {
 	n, op, dst := st.node, st.op, st.out
 	switch {
 	case n.Kind == graph.OpConv && op.Impl == ImplCSR:
-		op.csrConv.ForwardInto(dst, st.ins[0], &e.scratch)
+		op.csrConv.ForwardIntoPar(dst, st.ins[0], e.par)
 	case n.Kind == graph.OpConv && op.Impl == ImplFactorized:
-		op.factConv.ForwardInto(dst, st.ins[0], &e.scratch)
+		op.factConv.ForwardIntoPar(dst, st.ins[0], e.par)
 	case n.Kind == graph.OpConv && op.Impl == ImplIPE:
-		op.ipeConv.ForwardInto(dst, st.ins[0], &e.scratch)
+		op.ipeConv.ForwardIntoPar(dst, st.ins[0], e.par)
 	case n.Kind == graph.OpConv && op.Impl == ImplWinograd:
-		op.winConv.ForwardInto(dst, st.ins[0], &e.scratch)
+		op.winConv.ForwardIntoPar(dst, st.ins[0], e.par)
 	case n.Kind == graph.OpDense && op.Impl == ImplCSR:
 		denseCSRInto(dst, st.ins[0], op.csrDense, op.denseBias)
 	case n.Kind == graph.OpDense && op.Impl == ImplFactorized:
 		denseFactorizedInto(dst, st.ins[0], op.factDense, op.denseBias)
 	case n.Kind == graph.OpDense && op.Impl == ImplIPE:
-		op.ipeDense.ForwardInto(dst, st.ins[0], &e.scratch)
+		op.ipeDense.ForwardInto(dst, st.ins[0], e.par.Scratch(0))
 	default:
-		// EvalNodeInto already applies FusedReLU.
-		return graph.EvalNodeInto(dst, n, st.ins)
+		// EvalNodeIntoPar already applies FusedReLU.
+		return graph.EvalNodeIntoPar(dst, n, st.ins, e.par)
 	}
 	if n.Attrs.FusedReLU {
 		tensor.ReLUInto(dst, dst)
@@ -185,12 +218,14 @@ func (p *Plan) AcquireExecutor() *Executor {
 	return p.NewExecutor()
 }
 
-// ReleaseExecutor returns an Executor to the plan's pool for reuse. The
-// caller must not use the executor (or tensors returned by its Run) after
-// release.
+// ReleaseExecutor returns an Executor to the plan's pool for reuse,
+// restoring the default parallelism so the next acquirer starts from a
+// known setting. The caller must not use the executor (or tensors returned
+// by its Run) after release.
 func (p *Plan) ReleaseExecutor(e *Executor) {
 	if e == nil || e.plan != p {
 		return
 	}
+	e.SetParallelism(0)
 	p.executors.Put(e)
 }

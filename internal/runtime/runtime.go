@@ -56,7 +56,9 @@ type Options struct {
 	// Bits is the weight quantization bit-width for the encoded
 	// implementations (default 4).
 	Bits int
-	// Scheme is the quantization granularity (default per-channel).
+	// Scheme is the quantization granularity. The zero value means unset
+	// and compiles as per-channel (the documented default); per-tensor
+	// plans quantize outside the runtime via quant.Quantize.
 	Scheme quant.Scheme
 	// IPE configures the index-pair encoder (default ipe.DefaultConfig).
 	IPE ipe.Config
@@ -84,6 +86,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Bits == 0 {
 		o.Bits = 4
+	}
+	if o.Scheme == quant.PerTensor {
+		o.Scheme = quant.PerChannel
 	}
 	if o.IPE == (ipe.Config{}) {
 		o.IPE = ipe.DefaultConfig()
@@ -465,14 +470,33 @@ func (p *Plan) ImplCounts() map[Impl]int {
 // of the plan's pool for its whole chunk stream — private arena, zero
 // steady-state allocations — and copies each chunk's output into its
 // disjoint region of the preallocated result, so execution is safe and
-// deterministic. The input batch must be a multiple of the compiled batch.
+// deterministic. The input batch must be a non-empty multiple of the
+// compiled batch and every non-batch dimension must match the compiled
+// input shape.
+//
+// Intra-op parallelism composes with the chunk workers: each worker's
+// executor gets GOMAXPROCS/workers shards (at least 1), and all helpers
+// come from one process-wide bounded pool, so the two levels never
+// oversubscribe the machine.
 func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, error) {
-	compiled := p.Graph.In.OutShape[0]
+	inShape := p.Graph.In.OutShape
+	if input.Shape().Rank() != inShape.Rank() {
+		return nil, fmt.Errorf("runtime: input rank %d != compiled input %v", input.Shape().Rank(), inShape)
+	}
+	for d := 1; d < inShape.Rank(); d++ {
+		if input.Dim(d) != inShape[d] {
+			return nil, fmt.Errorf("runtime: input shape %v does not match compiled input %v in dim %d",
+				input.Shape(), inShape, d)
+		}
+	}
+	compiled := inShape[0]
 	total := input.Dim(0)
+	if total == 0 {
+		return nil, fmt.Errorf("runtime: empty batch")
+	}
 	if total%compiled != 0 {
 		return nil, fmt.Errorf("runtime: batch %d is not a multiple of the compiled batch %d", total, compiled)
 	}
-	inShape := p.Graph.In.OutShape
 	chunks := total / compiled
 	perChunk := input.NumElements() / chunks
 	if workers <= 0 {
@@ -480,6 +504,10 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 	}
 	if workers > chunks {
 		workers = chunks
+	}
+	intraShards := goruntime.GOMAXPROCS(0) / workers
+	if intraShards < 1 {
+		intraShards = 1
 	}
 	outShape := p.Graph.Out.OutShape.Clone()
 	outShape[0] *= chunks
@@ -494,6 +522,7 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 			defer wg.Done()
 			e := p.AcquireExecutor()
 			defer p.ReleaseExecutor(e)
+			e.SetParallelism(intraShards)
 			for i := range next {
 				chunk := tensor.From(input.Data()[i*perChunk:(i+1)*perChunk], inShape...)
 				out, err := e.Run(chunk)

@@ -83,6 +83,14 @@ func Conv2D(in, weight, bias *Tensor, spec ConvSpec) *Tensor {
 // Conv2DInto is Conv2D writing into a preallocated destination of shape
 // [n, outC, oh, ow]. dst must not alias in.
 func Conv2DInto(dst, in, weight, bias *Tensor, spec ConvSpec) {
+	Conv2DIntoPar(dst, in, weight, bias, spec, nil)
+}
+
+// Conv2DIntoPar is Conv2DInto sharded over (batch, output channel) units on
+// the given parallelism context (nil par or one shard runs serially). Each
+// unit owns a disjoint output plane and its accumulation loop is untouched,
+// so the result is bit-identical to the serial kernel for any shard count.
+func Conv2DIntoPar(dst, in, weight, bias *Tensor, spec ConvSpec, par *Par) {
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		panic(err)
@@ -95,44 +103,60 @@ func Conv2DInto(dst, in, weight, bias *Tensor, spec ConvSpec) {
 		panic(fmt.Sprintf("tensor: Conv2D weight shape %v != expected %v", weight.Shape(), spec.WeightShape()))
 	}
 	oh, ow := spec.OutDims(h, w)
-	if dst.NumElements() != n*spec.OutC*oh*ow {
+	// Compare every extent, not just the element count: a wrong-shaped dst
+	// with the right size would silently take a garbage layout.
+	if dst.Shape().Rank() != 4 || dst.Dim(0) != n || dst.Dim(1) != spec.OutC ||
+		dst.Dim(2) != oh || dst.Dim(3) != ow {
 		panic(fmt.Sprintf("tensor: Conv2DInto dst %v != [%d %d %d %d]", dst.Shape(), n, spec.OutC, oh, ow))
 	}
+	units := n * spec.OutC
+	if par.Parallel() {
+		par.For(units, func(shard, lo, hi int) {
+			conv2DUnits(dst, in, weight, bias, spec, oh, ow, lo, hi)
+		})
+		return
+	}
+	conv2DUnits(dst, in, weight, bias, spec, oh, ow, 0, units)
+}
+
+// conv2DUnits computes the output planes of flattened (batch, outC) units
+// [lo, hi) of a direct convolution.
+func conv2DUnits(dst, in, weight, bias *Tensor, spec ConvSpec, oh, ow, lo, hi int) {
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
 	icg := spec.InC / spec.Groups  // input channels per group
 	ocg := spec.OutC / spec.Groups // output channels per group
 	ind, wd, od := in.Data(), weight.Data(), dst.Data()
-	for b := 0; b < n; b++ {
-		for oc := 0; oc < spec.OutC; oc++ {
-			g := oc / ocg
-			var bv float32
-			if bias != nil {
-				bv = bias.Data()[oc]
-			}
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					acc := bv
-					iy0 := oy*spec.StrideH - spec.PadH
-					ix0 := ox*spec.StrideW - spec.PadW
-					for ic := 0; ic < icg; ic++ {
-						cIn := g*icg + ic
-						for ky := 0; ky < spec.KH; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
+	for u := lo; u < hi; u++ {
+		b, oc := u/spec.OutC, u%spec.OutC
+		g := oc / ocg
+		var bv float32
+		if bias != nil {
+			bv = bias.Data()[oc]
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := bv
+				iy0 := oy*spec.StrideH - spec.PadH
+				ix0 := ox*spec.StrideW - spec.PadW
+				for ic := 0; ic < icg; ic++ {
+					cIn := g*icg + ic
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						inRow := ind[((b*c+cIn)*h+iy)*w:]
+						wRow := wd[((oc*icg+ic)*spec.KH+ky)*spec.KW:]
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
 								continue
 							}
-							inRow := ind[((b*c+cIn)*h+iy)*w:]
-							wRow := wd[((oc*icg+ic)*spec.KH+ky)*spec.KW:]
-							for kx := 0; kx < spec.KW; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								acc += inRow[ix] * wRow[kx]
-							}
+							acc += inRow[ix] * wRow[kx]
 						}
 					}
-					od[((b*spec.OutC+oc)*oh+oy)*ow+ox] = acc
 				}
+				od[((b*spec.OutC+oc)*oh+oy)*ow+ox] = acc
 			}
 		}
 	}
@@ -166,31 +190,52 @@ func Im2colGroup(in *Tensor, b, g int, spec ConvSpec) *Tensor {
 // least icg*kH*kW*oh*ow floats (e.g. from a Scratch). Every element is
 // written, so the buffer need not be zeroed.
 func Im2colGroupInto(dst []float32, in *Tensor, b, g int, spec ConvSpec) {
+	Im2colGroupIntoPar(dst, in, b, g, spec, nil)
+}
+
+// Im2colGroupIntoPar is Im2colGroupInto sharded over output matrix rows on
+// the given parallelism context (nil par or one shard runs serially). Rows
+// are pure disjoint copies, so the lowering is identical for any shard
+// count.
+func Im2colGroupIntoPar(dst []float32, in *Tensor, b, g int, spec ConvSpec, par *Par) {
 	spec = spec.Normalize()
-	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	h, w := in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
 	icg := spec.InC / spec.Groups
-	if len(dst) < icg*spec.KH*spec.KW*oh*ow {
-		panic(fmt.Sprintf("tensor: Im2colGroupInto dst %d < %d", len(dst), icg*spec.KH*spec.KW*oh*ow))
+	rows := icg * spec.KH * spec.KW
+	if len(dst) < rows*oh*ow {
+		panic(fmt.Sprintf("tensor: Im2colGroupInto dst %d < %d", len(dst), rows*oh*ow))
 	}
+	if par.Parallel() {
+		par.For(rows, func(shard, lo, hi int) {
+			im2colRows(dst, in, b, g, spec, oh, ow, lo, hi)
+		})
+		return
+	}
+	im2colRows(dst, in, b, g, spec, oh, ow, 0, rows)
+}
+
+// im2colRows lowers im2col matrix rows [lo, hi), where row r unpacks to
+// (ic, ky, kx) = (r/(KH·KW), (r/KW)%KH, r%KW).
+func im2colRows(dst []float32, in *Tensor, b, g int, spec ConvSpec, oh, ow, lo, hi int) {
+	c, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	icg := spec.InC / spec.Groups
 	ind, od := in.Data(), dst
-	for ic := 0; ic < icg; ic++ {
+	for row := lo; row < hi; row++ {
+		kx := row % spec.KW
+		ky := (row / spec.KW) % spec.KH
+		ic := row / (spec.KW * spec.KH)
 		cIn := g*icg + ic
-		for ky := 0; ky < spec.KH; ky++ {
-			for kx := 0; kx < spec.KW; kx++ {
-				row := (ic*spec.KH+ky)*spec.KW + kx
-				dst := od[row*oh*ow:]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*spec.StrideH - spec.PadH + ky
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*spec.StrideW - spec.PadW + kx
-						var v float32
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
-							v = ind[((b*c+cIn)*h+iy)*w+ix]
-						}
-						dst[oy*ow+ox] = v
-					}
+		dst := od[row*oh*ow:]
+		for oy := 0; oy < oh; oy++ {
+			iy := oy*spec.StrideH - spec.PadH + ky
+			for ox := 0; ox < ow; ox++ {
+				ix := ox*spec.StrideW - spec.PadW + kx
+				var v float32
+				if iy >= 0 && iy < h && ix >= 0 && ix < w {
+					v = ind[((b*c+cIn)*h+iy)*w+ix]
 				}
+				dst[oy*ow+ox] = v
 			}
 		}
 	}
@@ -462,6 +507,14 @@ func Dense(in, weight, bias *Tensor) *Tensor {
 // DenseInto is Dense writing into a preallocated [n, m] destination. dst
 // must not alias in.
 func DenseInto(dst, in, weight, bias *Tensor) {
+	DenseIntoPar(dst, in, weight, bias, nil)
+}
+
+// DenseIntoPar is DenseInto sharded over flattened (batch, output) elements
+// on the given parallelism context (nil par or one shard runs serially).
+// Each output element's dot product and bias add are untouched, so the
+// result is bit-identical to the serial kernel for any shard count.
+func DenseIntoPar(dst, in, weight, bias *Tensor, par *Par) {
 	n, k := in.Dim(0), in.Dim(1)
 	m, k2 := weight.Dim(0), weight.Dim(1)
 	if k != k2 {
@@ -470,15 +523,32 @@ func DenseInto(dst, in, weight, bias *Tensor) {
 	if dst.NumElements() != n*m {
 		panic(fmt.Sprintf("tensor: DenseInto dst %v != [%d %d]", dst.Shape(), n, m))
 	}
+	units := n * m
+	if par.Parallel() {
+		par.For(units, func(shard, lo, hi int) {
+			denseRange(dst, in, weight, bias, k, m, lo, hi)
+		})
+		return
+	}
+	denseRange(dst, in, weight, bias, k, m, 0, units)
+}
+
+// denseRange computes flattened (batch, output) elements [lo, hi) of a
+// fully connected layer: od[b*m+i] = W[i]·x[b] + bias[i].
+func denseRange(dst, in, weight, bias *Tensor, k, m, lo, hi int) {
 	ind, wd, od := in.Data(), weight.Data(), dst.Data()
-	for b := 0; b < n; b++ {
-		MatVec(wd, ind[b*k:(b+1)*k], od[b*m:(b+1)*m], m, k)
-		if bias != nil {
-			bd := bias.Data()
-			for i := 0; i < m; i++ {
-				od[b*m+i] += bd[i]
-			}
+	for u := lo; u < hi; u++ {
+		b, i := u/m, u%m
+		row := wd[i*k : i*k+k]
+		x := ind[b*k : b*k+k]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
 		}
+		if bias != nil {
+			s += bias.Data()[i]
+		}
+		od[u] = s
 	}
 }
 
