@@ -1,8 +1,21 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: verify build test race vet bench bench-json
+# Every native fuzz target in the module, as pkg:Target pairs (go test
+# accepts one -fuzz target per invocation, so `make fuzz` loops).
+FUZZ_TARGETS := \
+	./internal/ipe:FuzzUnmarshalBinary \
+	./internal/ipe:FuzzEncodeRoundTrip \
+	./internal/graph:FuzzGraphDeserialize \
+	./internal/runtime:FuzzPlanner \
+	./internal/conformance:FuzzConformanceConv \
+	./internal/conformance:FuzzConformanceDense \
+	./internal/conformance:FuzzConformanceProgram \
+	./internal/conformance:FuzzConformanceGraph
 
-verify: build test race
+.PHONY: verify build test race vet fuzz cover bench bench-json
+
+verify: build test race vet
 
 build:
 	$(GO) build ./...
@@ -17,6 +30,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Run every fuzz target for FUZZTIME each (override: make fuzz FUZZTIME=5s).
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; fn=$${t#*:}; \
+		echo "--- fuzz $$pkg $$fn ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME); \
+	done
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,580 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/ipe"
+	"repro/internal/parallel"
+	"repro/internal/quant"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// The differential driver. Each Check*(seed) rebuilds the generated case
+// from its seed, runs every registered implementation family, and enforces
+// the correctness contract: first variant of a family against the float64
+// reference (tolerance), every other variant of the family against the
+// first (bitwise), integer paths against the straight-loop integer
+// reference (exact).
+
+// serialPar returns the one-shard parallelism context used for variants
+// that require a non-nil *tensor.Par but should run serially.
+func serialPar() *tensor.Par { return tensor.NewPar(parallel.Shared(), 1) }
+
+// pars returns the shard counts every sharded variant runs under: serial,
+// a shard count that does not divide typical unit counts, and the
+// GOMAXPROCS default.
+func pars() []*tensor.Par {
+	return []*tensor.Par{
+		tensor.NewPar(parallel.Shared(), 1),
+		tensor.NewPar(parallel.Shared(), 3),
+		tensor.NewPar(parallel.Shared(), 0),
+	}
+}
+
+// familyRun is one concrete execution: a variant of a family, adapted to
+// write its result into a flat float32 buffer.
+type familyRun struct {
+	name    string
+	usesPar bool
+	f       func(dst []float32, par *tensor.Par)
+}
+
+// driveFamily runs a family's variants (sharded ones at every shard count),
+// checks the first run against the float64 reference within tolerance, and
+// every subsequent run bitwise against the first.
+func driveFamily(seed uint64, family string, size int, refOut, refMag []float64, runs []familyRun) error {
+	var first []float32
+	var firstName string
+	for _, v := range runs {
+		ps := []*tensor.Par{serialPar()}
+		if v.usesPar {
+			ps = pars()
+		}
+		for _, p := range ps {
+			name := family + "/" + v.name
+			if v.usesPar {
+				name = fmt.Sprintf("%s[shards=%d]", name, p.Shards())
+			}
+			dst := make([]float32, size)
+			v.f(dst, p)
+			if first == nil {
+				if err := checkClose(seed, name, dst, refOut, refMag); err != nil {
+					return err
+				}
+				first, firstName = dst, name
+				continue
+			}
+			if err := checkExact(seed, name, firstName, dst, first); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConv rebuilds the convolution case for seed and cross-checks every
+// convolution family: tensor direct and im2col on the float weights;
+// baseline CSR, factorized, and (when the spec allows) Winograd; both IPE
+// encoders' float paths on their dequantized weights; and the IPE integer
+// path against a bitwise replication over decoded codes.
+func CheckConv(seed uint64) error {
+	cs := GenConv(seed)
+	spec := cs.Spec.Normalize()
+	n, h, w := cs.Input.Dim(0), cs.Input.Dim(2), cs.Input.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	size := n * spec.OutC * oh * ow
+	outShape := []int{n, spec.OutC, oh, ow}
+
+	// Float-weight families: tensor kernels and, for 3×3 stride-1 dense
+	// specs, Winograd.
+	refOut, refMag := RefConv2D(cs.Input, cs.Weight, cs.Bias, spec)
+	for _, impl := range tensor.ConvImpls() {
+		var runs []familyRun
+		for _, v := range impl.Variants {
+			v := v
+			runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+				f: func(dst []float32, par *tensor.Par) {
+					v.F(tensor.From(dst, outShape...), cs.Input, cs.Weight, cs.Bias, spec, par)
+				}})
+		}
+		if err := driveFamily(seed, impl.Family, size, refOut, refMag, runs); err != nil {
+			return err
+		}
+	}
+	if spec.KH == 3 && spec.KW == 3 && spec.StrideH == 1 && spec.StrideW == 1 && spec.Groups == 1 {
+		l, err := baseline.NewConvWinograd(cs.Weight, cs.Bias, spec)
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: NewConvWinograd: %w", seed, err)
+		}
+		var runs []familyRun
+		for _, v := range baseline.WinogradVariants() {
+			v := v
+			runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+				f: func(dst []float32, par *tensor.Par) {
+					v.F(l, tensor.From(dst, outShape...), cs.Input, par)
+				}})
+		}
+		if err := driveFamily(seed, "winograd", size, refOut, refMag, runs); err != nil {
+			return err
+		}
+	}
+
+	// Quantized families run on their dequantized weights, so each gets an
+	// oracle built from the weights it actually computes with.
+	csr, err := baseline.NewConvCSR(cs.Weight, cs.Bias, spec, cs.Bits, cs.Scheme)
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: NewConvCSR: %w", seed, err)
+	}
+	qOut, qMag := RefConv2D(cs.Input, csr.Quant.Dequantize(), cs.Bias, spec)
+	var runs []familyRun
+	for _, v := range baseline.CSRConvVariants() {
+		v := v
+		runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+			f: func(dst []float32, par *tensor.Par) {
+				v.F(csr, tensor.From(dst, outShape...), cs.Input, par)
+			}})
+	}
+	if err := driveFamily(seed, "csr-conv", size, qOut, qMag, runs); err != nil {
+		return err
+	}
+
+	fact, err := baseline.NewConvFactorized(cs.Weight, cs.Bias, spec, cs.Bits, cs.Scheme)
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: NewConvFactorized: %w", seed, err)
+	}
+	runs = nil
+	for _, v := range baseline.FactConvVariants() {
+		v := v
+		runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+			f: func(dst []float32, par *tensor.Par) {
+				v.F(fact, tensor.From(dst, outShape...), cs.Input, par)
+			}})
+	}
+	if err := driveFamily(seed, "factorized-conv", size, qOut, qMag, runs); err != nil {
+		return err
+	}
+
+	for _, enc := range ipe.ConvEncoders() {
+		l, _, err := enc.F(cs.Weight, cs.Bias, spec, cs.Bits, cs.Scheme, cs.Cfg)
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s encode: %w", seed, enc.Name, err)
+		}
+		eOut, eMag := RefConv2D(cs.Input, l.Quant.Dequantize(), cs.Bias, spec)
+		runs = nil
+		for _, v := range ipe.ConvVariants() {
+			v := v
+			runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+				f: func(dst []float32, par *tensor.Par) {
+					v.F(l, tensor.From(dst, outShape...), cs.Input, par)
+				}})
+		}
+		if err := driveFamily(seed, enc.Name+"-conv", size, eOut, eMag, runs); err != nil {
+			return err
+		}
+
+		xParams := quant.Calibrate([]*tensor.Tensor{cs.Input}, 8)
+		got := l.ForwardInt8(cs.Input, xParams)
+		want, err := refConvInt8(l, cs.Input, xParams)
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s int reference: %w", seed, enc.Name, err)
+		}
+		if err := checkExact(seed, enc.Name+"-conv/forward-int8", "int replication", got.Data(), want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refConvInt8 replicates ConvLayer.ForwardInt8 over decoded program codes:
+// the integer accumulation goes through the straight-loop RefProgramInt and
+// the float requantization tail repeats the layer's operations in order, so
+// the comparison is bitwise.
+func refConvInt8(l *ipe.ConvLayer, in *tensor.Tensor, xParams quant.Params) ([]float32, error) {
+	spec := l.Spec.Normalize()
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	ocg := spec.OutC / spec.Groups
+	out := make([]float32, n*spec.OutC*oh*ow)
+	for g := 0; g < spec.Groups; g++ {
+		prog := l.Programs[g]
+		codes, err := prog.Decode()
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < n; b++ {
+			col := tensor.Im2colGroup(in, b, g, spec)
+			p := col.Dim(1)
+			qc := ipe.QuantizeActivations(col.Data(), xParams, 8)
+			xCol := make([]int32, prog.K)
+			for c := 0; c < p; c++ {
+				for i := range xCol {
+					xCol[i] = qc[i*p+c]
+				}
+				acc := RefProgramInt(codes, prog.M, prog.K, xCol)
+				for oc := 0; oc < ocg; oc++ {
+					v := float32(acc[oc]) * xParams.Scale * prog.RowScale(oc)
+					if l.Bias != nil {
+						v += l.Bias.Data()[g*ocg+oc]
+					}
+					out[((b*spec.OutC+g*ocg+oc)*oh)*ow+c] = v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckDense rebuilds the dense case for seed and cross-checks the tensor
+// dense/GEMM families on float weights, the IPE dense layer on its
+// dequantized weights, and the IPE integer dense path bitwise.
+func CheckDense(seed uint64) error {
+	cs := GenDense(seed)
+	n, m := cs.Input.Dim(0), cs.Weight.Dim(0)
+	size := n * m
+	outShape := []int{n, m}
+
+	refOut, refMag := RefDense(cs.Input, cs.Weight, cs.Bias)
+	for _, impl := range tensor.DenseImpls() {
+		var runs []familyRun
+		for _, v := range impl.Variants {
+			v := v
+			runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+				f: func(dst []float32, par *tensor.Par) {
+					v.F(tensor.From(dst, outShape...), cs.Input, cs.Weight, cs.Bias, par)
+				}})
+		}
+		if err := driveFamily(seed, impl.Family, size, refOut, refMag, runs); err != nil {
+			return err
+		}
+	}
+
+	l, _, err := ipe.EncodeDense(cs.Weight, cs.Bias, cs.Bits, cs.Scheme, cs.Cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: EncodeDense: %w", seed, err)
+	}
+	deq := l.Quant.Dequantize().Reshape(m, cs.Weight.Dim(1))
+	eOut, eMag := RefDense(cs.Input, deq, cs.Bias)
+	var runs []familyRun
+	for _, v := range ipe.DenseVariants() {
+		v := v
+		runs = append(runs, familyRun{name: v.Name,
+			f: func(dst []float32, par *tensor.Par) {
+				v.F(l, tensor.From(dst, outShape...), cs.Input)
+			}})
+	}
+	if err := driveFamily(seed, "ipe-dense", size, eOut, eMag, runs); err != nil {
+		return err
+	}
+
+	// Integer path: quantize each batch row, accumulate via the straight
+	// integer loop, requantize with the layer's exact operations, then the
+	// layer's separate bias pass.
+	xParams := quant.Calibrate([]*tensor.Tensor{cs.Input}, 8)
+	got := l.ForwardInt8(cs.Input, xParams)
+	codes, err := l.Program.Decode()
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: dense Decode: %w", seed, err)
+	}
+	k := l.Program.K
+	want := make([]float32, size)
+	for b := 0; b < n; b++ {
+		xc := ipe.QuantizeActivations(cs.Input.Data()[b*k:(b+1)*k], xParams, 8)
+		acc := RefProgramInt(codes, m, k, xc)
+		for r := 0; r < m; r++ {
+			want[b*m+r] = float32(acc[r]) * xParams.Scale * l.Program.RowScale(r)
+		}
+	}
+	if l.Bias != nil {
+		for b := 0; b < n; b++ {
+			for r := 0; r < m; r++ {
+				want[b*m+r] += l.Bias.Data()[r]
+			}
+		}
+	}
+	return checkExact(seed, "ipe-dense/forward-int8", "int replication", got.Data(), want)
+}
+
+// CheckProgram rebuilds the raw-matrix case for seed, encodes it, and
+// cross-checks: the decoded program weights against the quantizer
+// (bitwise), the vector/matrix float executors against the reference on
+// those weights, the integer executors bitwise against the straight loop,
+// the symmetric and asymmetric quantized paths bitwise against their
+// replications, and the CSR/factorized baselines built from the same
+// quantized matrix.
+func CheckProgram(seed uint64) error {
+	cs := GenProgram(seed)
+	m, k, p := cs.M, cs.K, cs.P
+	q := quant.Quantize(cs.Weight, cs.Bits, cs.Scheme)
+	prog, _, err := ipe.Encode(q, cs.Cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: Encode: %w", seed, err)
+	}
+	codes, err := prog.Decode()
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: Decode: %w", seed, err)
+	}
+	wRef, err := RefProgramWeights(prog)
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: %w", seed, err)
+	}
+	deq := q.Dequantize()
+	if err := checkExact(seed, "program-weights", "quantizer dequantize", wRef, deq.Data()); err != nil {
+		return err
+	}
+
+	// Float vector and matrix executors (separate families: the matrix
+	// path blocks columns and could legally reassociate).
+	vOut, vMag := RefMatMul(wRef, cs.X, m, k, 1)
+	var runs []familyRun
+	for _, v := range ipe.VectorVariants() {
+		v := v
+		runs = append(runs, familyRun{name: v.Name,
+			f: func(dst []float32, par *tensor.Par) { v.F(prog, cs.X, dst) }})
+	}
+	if err := driveFamily(seed, "ipe-vector", m, vOut, vMag, runs); err != nil {
+		return err
+	}
+
+	mOut, mMag := RefMatMul(wRef, cs.Cols, m, k, p)
+	runs = nil
+	for _, v := range ipe.MatrixVariants() {
+		v := v
+		runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+			f: func(dst []float32, par *tensor.Par) { v.F(prog, dst, cs.Cols, p, par) }})
+	}
+	if err := driveFamily(seed, "ipe-matrix", m*p, mOut, mMag, runs); err != nil {
+		return err
+	}
+
+	// Integer executors are exact.
+	intRef := RefProgramInt(codes, m, k, cs.XInt)
+	for _, v := range ipe.IntVariants() {
+		y := make([]int64, m)
+		v.F(prog, cs.XInt, y)
+		if err := checkExactInt(seed, "ipe-int/"+v.Name, "integer reference", y, intRef); err != nil {
+			return err
+		}
+	}
+
+	// Symmetric quantized path, replicated bitwise.
+	xT := tensor.From(cs.X, k)
+	sp := quant.Calibrate([]*tensor.Tensor{xT}, 8)
+	got := make([]float32, m)
+	prog.ExecuteQuantized(cs.X, got, sp, 8)
+	xc := ipe.QuantizeActivations(cs.X, sp, 8)
+	acc := RefProgramInt(codes, m, k, xc)
+	want := make([]float32, m)
+	for r := 0; r < m; r++ {
+		want[r] = float32(acc[r]) * sp.Scale * prog.RowScale(r)
+	}
+	if err := checkExact(seed, "ipe-quantized", "int replication", got, want); err != nil {
+		return err
+	}
+
+	// Asymmetric quantized path: the precomputed zero-point corrections
+	// must equal the decoded rows' code sums, and the output must replicate
+	// bitwise.
+	ap := quant.CalibrateAsym([]*tensor.Tensor{xT}, 8)
+	rowSums := prog.RowCodeSums()
+	refSums := make([]int64, m)
+	for r := 0; r < m; r++ {
+		for c := 0; c < k; c++ {
+			refSums[r] += int64(codes[r*k+c])
+		}
+	}
+	if err := checkExactInt(seed, "ipe-row-code-sums", "decoded code sums", rowSums, refSums); err != nil {
+		return err
+	}
+	prog.ExecuteQuantizedAsym(cs.X, got, ap, 8, rowSums)
+	ac := quant.QuantizeAsym(cs.X, ap, 8)
+	acc = RefProgramInt(codes, m, k, ac)
+	z := int64(ap.ZeroPoint)
+	for r := 0; r < m; r++ {
+		want[r] = float32(acc[r]-z*refSums[r]) * ap.Scale * prog.RowScale(r)
+	}
+	if err := checkExact(seed, "ipe-quantized-asym", "int replication", got, want); err != nil {
+		return err
+	}
+
+	// Baselines over the same quantized matrix. Their dense reconstructions
+	// must equal the quantizer's dequantization bitwise; their products are
+	// checked against the reference on it.
+	csr := baseline.NewCSRFromQuantized(q)
+	if err := checkExact(seed, "csr-dense-reconstruction", "quantizer dequantize", csr.Dense().Data(), deq.Data()); err != nil {
+		return err
+	}
+	fact := baseline.NewFactorized(q)
+	if err := checkExact(seed, "factorized-dense-reconstruction", "quantizer dequantize", fact.Dense().Data(), deq.Data()); err != nil {
+		return err
+	}
+
+	y := make([]float32, m)
+	csr.MatVec(cs.X, y)
+	if err := checkClose(seed, "csr-matvec", y, vOut, vMag); err != nil {
+		return err
+	}
+	fact.MatVec(cs.X, y)
+	if err := checkClose(seed, "factorized-matvec", y, vOut, vMag); err != nil {
+		return err
+	}
+
+	runs = nil
+	for _, v := range baseline.CSRMatVariants(csr) {
+		v := v
+		runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+			f: func(dst []float32, par *tensor.Par) { v.F(dst, cs.Cols, p, par) }})
+	}
+	if err := driveFamily(seed, "csr-matmat", m*p, mOut, mMag, runs); err != nil {
+		return err
+	}
+	runs = nil
+	for _, v := range baseline.FactMatVariants(fact) {
+		v := v
+		runs = append(runs, familyRun{name: v.Name, usesPar: v.UsesPar,
+			f: func(dst []float32, par *tensor.Par) { v.F(dst, cs.Cols, p, par) }})
+	}
+	return driveFamily(seed, "factorized-matmat", m*p, mOut, mMag, runs)
+}
+
+// CheckGraph rebuilds the model-graph case for seed and cross-checks the
+// whole-graph execution paths: the graph walkers (bitwise family, close to
+// the reference), then for every forceable runtime implementation plus
+// auto-selection, a freshly compiled plan's Executor at several
+// parallelism settings (bitwise family, close to an oracle evaluated on
+// the plan's effective weights), Plan.Run, and chunked RunBatch at one and
+// two workers (bitwise against the single runs).
+func CheckGraph(seed uint64) error {
+	gc := GenGraph(seed)
+	ref, err := RefGraph(gc.Graph, gc.Input, nil)
+	if err != nil {
+		return fmt.Errorf("conformance: seed %d: graph reference: %w", seed, err)
+	}
+
+	var first []float32
+	var firstName string
+	for _, v := range graph.ExecVariants() {
+		ps := []*tensor.Par{serialPar()}
+		if v.UsesPar {
+			ps = pars()
+		}
+		for _, par := range ps {
+			name := "graph/" + v.Name
+			if v.UsesPar {
+				name = fmt.Sprintf("%s[shards=%d]", name, par.Shards())
+			}
+			out, err := v.F(gc.Graph, gc.Input, par)
+			if err != nil {
+				return fmt.Errorf("conformance: seed %d: %s: %w", seed, name, err)
+			}
+			if first == nil {
+				if err := checkGraphClose(seed, name, out.Data(), ref); err != nil {
+					return err
+				}
+				first, firstName = out.Data(), name
+				continue
+			}
+			if err := checkExact(seed, name, firstName, out.Data(), first); err != nil {
+				return err
+			}
+		}
+	}
+
+	// A second, independently generated input for the middle RunBatch
+	// chunk, derived deterministically from the seed.
+	r := tensor.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	extra := tensor.New(gc.Graph.In.OutShape...)
+	tensor.FillGaussian(extra, r, 1)
+
+	impls := append([]runtime.Impl{runtime.ImplAuto}, runtime.ForceableImpls()...)
+	for _, impl := range impls {
+		tag := fmt.Sprintf("runtime[force=%v]", impl)
+		plan, err := runtime.Compile(gc.Graph.Clone(), runtime.Options{Force: impl})
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s: Compile: %w", seed, tag, err)
+		}
+		eff, err := plan.EffectiveWeights()
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s: %w", seed, tag, err)
+		}
+		oracle, err := RefGraph(plan.Graph, gc.Input, eff)
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s: oracle: %w", seed, tag, err)
+		}
+
+		e := plan.AcquireExecutor()
+		var base, extraOut []float32
+		var baseName string
+		for _, shards := range []int{1, 3, 0} {
+			e.SetParallelism(shards)
+			out, err := e.Run(gc.Input)
+			if err != nil {
+				plan.ReleaseExecutor(e)
+				return fmt.Errorf("conformance: seed %d: %s: Run: %w", seed, tag, err)
+			}
+			// The executor's output aliases its arena; copy before the
+			// next run overwrites it.
+			data := append([]float32(nil), out.Data()...)
+			name := fmt.Sprintf("%s/executor[shards=%d]", tag, shards)
+			if base == nil {
+				if err := checkGraphClose(seed, name, data, oracle); err != nil {
+					plan.ReleaseExecutor(e)
+					return err
+				}
+				base, baseName = data, name
+				continue
+			}
+			if err := checkExact(seed, name, baseName, data, base); err != nil {
+				plan.ReleaseExecutor(e)
+				return err
+			}
+		}
+		e.SetParallelism(1)
+		if out, err := e.Run(extra); err != nil {
+			plan.ReleaseExecutor(e)
+			return fmt.Errorf("conformance: seed %d: %s: Run(extra): %w", seed, tag, err)
+		} else {
+			extraOut = append([]float32(nil), out.Data()...)
+		}
+		plan.ReleaseExecutor(e)
+
+		out, err := plan.Run(gc.Input)
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s: Plan.Run: %w", seed, tag, err)
+		}
+		if err := checkExact(seed, tag+"/plan-run", baseName, out.Data(), base); err != nil {
+			return err
+		}
+
+		// RunBatch with three chunks (case input, extra input, case input
+		// again) must reproduce the single runs chunk for chunk at any
+		// worker count.
+		inShape := plan.Graph.In.OutShape
+		batched := tensor.New(append([]int{3 * inShape[0]}, inShape[1:]...)...)
+		per := gc.Input.NumElements()
+		copy(batched.Data()[0:per], gc.Input.Data())
+		copy(batched.Data()[per:2*per], extra.Data())
+		copy(batched.Data()[2*per:3*per], gc.Input.Data())
+		for _, workers := range []int{1, 2} {
+			bout, err := plan.RunBatch(batched, workers)
+			if err != nil {
+				return fmt.Errorf("conformance: seed %d: %s: RunBatch(workers=%d): %w", seed, tag, workers, err)
+			}
+			perOut := bout.NumElements() / 3
+			bd := bout.Data()
+			name := fmt.Sprintf("%s/run-batch[workers=%d]", tag, workers)
+			if err := checkExact(seed, name+"/chunk0", baseName, bd[0:perOut], base); err != nil {
+				return err
+			}
+			if err := checkExact(seed, name+"/chunk1", "single run on extra input", bd[perOut:2*perOut], extraOut); err != nil {
+				return err
+			}
+			if err := checkExact(seed, name+"/chunk2", baseName, bd[2*perOut:3*perOut], base); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

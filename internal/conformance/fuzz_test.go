@@ -1,0 +1,52 @@
+package conformance
+
+import "testing"
+
+// Fuzz targets feed generator seeds through the differential driver: the
+// fuzzer explores the configuration space (shapes, strides, padding,
+// bit-widths, sparsity, encoder settings) by exploring seeds. Any reported
+// crasher input IS the reproduction seed.
+
+func FuzzConformanceConv(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckConv(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzConformanceDense(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckDense(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzConformanceProgram(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckProgram(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzConformanceGraph(f *testing.F) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckGraph(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

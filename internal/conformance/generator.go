@@ -1,0 +1,288 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ipe"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// The case generator. Every Gen* function is a pure function of its seed
+// (one tensor.RNG, consumed in a fixed order), so the seed printed in a
+// failure message is a complete reproduction recipe. The distributions are
+// deliberately edge-heavy: 1×1 kernels, strides larger than the kernel,
+// single channels, batch 1, nil biases, 2–8 bit weights, both quantization
+// schemes, heavy sparsity, grouped and depthwise convolutions.
+
+// ConvCase is one generated convolution layer configuration plus data.
+type ConvCase struct {
+	Seed     uint64
+	Spec     tensor.ConvSpec
+	Input    *tensor.Tensor // NCHW
+	Weight   *tensor.Tensor // OIHW
+	Bias     *tensor.Tensor // nil or [outC]
+	Bits     int
+	Scheme   quant.Scheme
+	Sparsity float64
+	Cfg      ipe.Config
+}
+
+// DenseCase is one generated fully connected layer configuration.
+type DenseCase struct {
+	Seed     uint64
+	Input    *tensor.Tensor // [n, k]
+	Weight   *tensor.Tensor // [m, k]
+	Bias     *tensor.Tensor // nil or [m]
+	Bits     int
+	Scheme   quant.Scheme
+	Sparsity float64
+	Cfg      ipe.Config
+}
+
+// ProgramCase is one generated raw weight matrix with vector, matrix, and
+// integer inputs for exercising Program execution paths directly.
+type ProgramCase struct {
+	Seed     uint64
+	M, K, P  int
+	Weight   *tensor.Tensor // [m, k]
+	Bits     int
+	Scheme   quant.Scheme
+	Sparsity float64
+	Cfg      ipe.Config
+	X        []float32 // [k] vector input
+	Cols     []float32 // [k, p] column-matrix input
+	XInt     []int32   // [k] integer activation codes
+}
+
+// GraphCase is one generated small model graph with an input batch.
+type GraphCase struct {
+	Seed  uint64
+	Graph *graph.Graph
+	Input *tensor.Tensor
+}
+
+func pickInt(r *tensor.RNG, choices ...int) int {
+	return choices[r.Intn(len(choices))]
+}
+
+func genCommon(r *tensor.RNG) (bits int, scheme quant.Scheme, sparsity float64, cfg ipe.Config) {
+	bits = 2 + r.Intn(7) // 2..8
+	scheme = quant.PerTensor
+	if r.Intn(2) == 1 {
+		scheme = quant.PerChannel
+	}
+	sparsity = []float64{0, 0, 0.3, 0.7, 0.9}[r.Intn(5)]
+	cfg = ipe.DefaultConfig()
+	cfg.MaxDict = pickInt(r, 0, 64, 4096)
+	cfg.MaxDepth = pickInt(r, 2, 8)
+	cfg.TileSize = pickInt(r, 0, 16, 256)
+	if r.Intn(3) == 0 {
+		cfg.Policy = ipe.PolicyGreedy
+	}
+	if r.Intn(4) == 0 {
+		cfg.MinPairCount = 3
+	}
+	return bits, scheme, sparsity, cfg
+}
+
+func genWeight(r *tensor.RNG, sparsity float64, dims ...int) *tensor.Tensor {
+	w := tensor.New(dims...)
+	fanIn := 1
+	for _, d := range dims[1:] {
+		fanIn *= d
+	}
+	tensor.FillGaussian(w, r, tensor.KaimingStd(fanIn))
+	if sparsity > 0 {
+		quant.PruneMagnitude(w, sparsity)
+	}
+	return w
+}
+
+func genBias(r *tensor.RNG, n int) *tensor.Tensor {
+	if r.Intn(3) == 0 {
+		return nil
+	}
+	b := tensor.New(n)
+	tensor.FillUniform(b, r, -0.5, 0.5)
+	return b
+}
+
+// GenConv generates a convolution case from the seed alone.
+func GenConv(seed uint64) ConvCase {
+	r := tensor.NewRNG(seed)
+	spec := tensor.ConvSpec{
+		KH:      pickInt(r, 1, 1, 2, 3, 3),
+		KW:      pickInt(r, 1, 2, 3),
+		StrideH: pickInt(r, 1, 1, 1, 2, 3),
+		StrideW: pickInt(r, 1, 1, 2),
+		PadH:    pickInt(r, 0, 0, 1, 2),
+		PadW:    pickInt(r, 0, 1),
+		Groups:  1,
+	}
+	switch r.Intn(6) {
+	case 0: // depthwise: groups == inC == outC
+		c := 1 + r.Intn(4)
+		spec.Groups, spec.InC, spec.OutC = c, c, c
+	case 1: // grouped
+		spec.Groups = 2
+		spec.InC = 2 * (1 + r.Intn(3))
+		spec.OutC = 2 * (1 + r.Intn(3))
+	default: // dense, single-channel-heavy
+		spec.InC = pickInt(r, 1, 1, 2, 3, 4)
+		spec.OutC = pickInt(r, 1, 2, 3, 5)
+	}
+	n := pickInt(r, 1, 1, 1, 2, 3)
+	h := spec.KH + r.Intn(7)
+	w := spec.KW + r.Intn(7)
+	bits, scheme, sparsity, cfg := genCommon(r)
+	weight := genWeight(r, sparsity, spec.WeightShape()...)
+	bias := genBias(r, spec.OutC)
+	in := tensor.New(n, spec.InC, h, w)
+	tensor.FillGaussian(in, r, 1)
+	return ConvCase{Seed: seed, Spec: spec, Input: in, Weight: weight, Bias: bias,
+		Bits: bits, Scheme: scheme, Sparsity: sparsity, Cfg: cfg}
+}
+
+// GenDense generates a fully connected case from the seed alone.
+func GenDense(seed uint64) DenseCase {
+	r := tensor.NewRNG(seed)
+	n := pickInt(r, 1, 1, 2, 3)
+	k := pickInt(r, 1, 2, 7, 16, 24, 40)
+	m := pickInt(r, 1, 2, 5, 10, 16)
+	bits, scheme, sparsity, cfg := genCommon(r)
+	weight := genWeight(r, sparsity, m, k)
+	bias := genBias(r, m)
+	in := tensor.New(n, k)
+	tensor.FillGaussian(in, r, 1)
+	return DenseCase{Seed: seed, Input: in, Weight: weight, Bias: bias,
+		Bits: bits, Scheme: scheme, Sparsity: sparsity, Cfg: cfg}
+}
+
+// GenProgram generates a raw weight matrix case from the seed alone. P is
+// chosen to land below, at, and across the matrix executor's column block
+// size (64).
+func GenProgram(seed uint64) ProgramCase {
+	r := tensor.NewRNG(seed)
+	m := pickInt(r, 1, 2, 5, 9, 16)
+	k := pickInt(r, 1, 3, 8, 17, 32)
+	p := pickInt(r, 1, 3, 63, 64, 65, 130)
+	bits, scheme, sparsity, cfg := genCommon(r)
+	weight := genWeight(r, sparsity, m, k)
+	x := make([]float32, k)
+	cols := make([]float32, k*p)
+	xi := make([]int32, k)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	for i := range cols {
+		cols[i] = float32(r.NormFloat64())
+	}
+	// Integer activations in the 8-bit symmetric code range the quantized
+	// path produces.
+	for i := range xi {
+		xi[i] = int32(r.Intn(255)) - 127
+	}
+	return ProgramCase{Seed: seed, M: m, K: k, P: p, Weight: weight,
+		Bits: bits, Scheme: scheme, Sparsity: sparsity, Cfg: cfg,
+		X: x, Cols: cols, XInt: xi}
+}
+
+// GenGraph generates a small model graph (conv blocks with optional batch
+// norm, ReLU, pooling, residual add, and concat, ending in a classifier
+// head) plus a matching input batch, from the seed alone. The generated
+// graph always passes InferShapes; a failure there is a generator bug and
+// panics.
+func GenGraph(seed uint64) GraphCase {
+	r := tensor.NewRNG(seed)
+	n := pickInt(r, 1, 1, 2)
+	c := pickInt(r, 1, 2, 3)
+	h := 7 + r.Intn(6)
+	w := 7 + r.Intn(6)
+	g := graph.New("conformance", n, c, h, w)
+	x := g.In
+
+	blocks := 1 + r.Intn(3)
+	for b := 0; b < blocks; b++ {
+		outC := pickInt(r, 2, 3, 4, 6)
+		switch r.Intn(5) {
+		case 0: // residual block: 3×3 stride-1 pad-1 conv keeps the shape
+			spec := tensor.ConvSpec{InC: c, OutC: c, KH: 3, KW: 3,
+				StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1}
+			conv := g.Conv(x, fmt.Sprintf("res%d", b), spec,
+				genWeight(r, 0, spec.WeightShape()...), genBias(r, c))
+			x = g.Add(conv, x, fmt.Sprintf("add%d", b))
+			outC = c
+		case 1: // concat of two 1×1 convs
+			var parts []*graph.Node
+			for p := 0; p < 2; p++ {
+				spec := tensor.ConvSpec{InC: c, OutC: (outC + 1) / 2, KH: 1, KW: 1,
+					StrideH: 1, StrideW: 1, Groups: 1}
+				parts = append(parts, g.Conv(x, fmt.Sprintf("br%d_%d", b, p), spec,
+					genWeight(r, 0, spec.WeightShape()...), genBias(r, spec.OutC)))
+			}
+			x = g.Concat(fmt.Sprintf("cat%d", b), parts...)
+			outC = 2 * ((outC + 1) / 2)
+		default: // plain conv
+			kh := pickInt(r, 1, 3, 3)
+			stride := 1
+			if kh <= h && kh <= w && r.Intn(3) == 0 {
+				stride = 2
+			}
+			pad := 0
+			if kh == 3 {
+				pad = 1
+			}
+			spec := tensor.ConvSpec{InC: c, OutC: outC, KH: kh, KW: kh,
+				StrideH: stride, StrideW: stride, PadH: pad, PadW: pad, Groups: 1}
+			x = g.Conv(x, fmt.Sprintf("conv%d", b), spec,
+				genWeight(r, 0, spec.WeightShape()...), genBias(r, outC))
+			h, w = spec.OutDims(h, w)
+		}
+		c = outC
+		if r.Intn(2) == 0 {
+			gamma, beta, mean, va := tensor.New(c), tensor.New(c), tensor.New(c), tensor.New(c)
+			tensor.FillUniform(gamma, r, 0.5, 1.5)
+			tensor.FillUniform(beta, r, -0.5, 0.5)
+			tensor.FillUniform(mean, r, -0.5, 0.5)
+			tensor.FillUniform(va, r, 0.5, 2)
+			x = g.BatchNorm(x, fmt.Sprintf("bn%d", b), gamma, beta, mean, va, 1e-5)
+		}
+		if r.Intn(3) != 0 {
+			x = g.ReLU(x, fmt.Sprintf("relu%d", b))
+		}
+		if h >= 4 && w >= 4 && r.Intn(2) == 0 {
+			p := graph.PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+			if r.Intn(2) == 0 {
+				x = g.MaxPool(x, fmt.Sprintf("max%d", b), p)
+			} else {
+				x = g.AvgPool(x, fmt.Sprintf("avg%d", b), p)
+			}
+			h, w = h/2, w/2
+		}
+	}
+
+	classes := pickInt(r, 2, 4, 10)
+	var feats int
+	if r.Intn(2) == 0 {
+		x = g.GlobalAvgPool(x, "gap")
+		x = g.Flatten(x, "flat")
+		feats = c
+	} else {
+		x = g.Flatten(x, "flat")
+		feats = c * h * w
+	}
+	x = g.Dense(x, "fc", genWeight(r, 0, classes, feats), genBias(r, classes))
+	if r.Intn(2) == 0 {
+		x = g.Softmax(x, "softmax")
+	}
+	g.SetOutput(x)
+	if err := g.InferShapes(); err != nil {
+		panic(fmt.Sprintf("conformance: GenGraph(%d) built an invalid graph: %v", seed, err))
+	}
+
+	in := tensor.New(g.In.OutShape...)
+	tensor.FillGaussian(in, r, 1)
+	return GraphCase{Seed: seed, Graph: g, Input: in}
+}

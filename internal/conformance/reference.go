@@ -1,0 +1,440 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ipe"
+	"repro/internal/tensor"
+)
+
+// The reference interpreter. Everything here is written for obviousness,
+// not speed: straight nested loops, float64 accumulators, one allocation
+// per result, no scratch buffers, no parallelism. Each Ref* function also
+// returns a per-element magnitude bound (the sum of absolute values of
+// every contribution), which calibrates the tolerance a float32
+// implementation is held to.
+
+// RefConv2D computes a grouped 2-D convolution in float64.
+// in is NCHW [n, inC, h, w]; weight is OIHW; bias is nil or [outC].
+// It returns the [n, outC, oh, ow] output flattened row-major, and the
+// matching magnitude bound |bias| + Σ|w·x| per element.
+func RefConv2D(in, weight, bias *tensor.Tensor, spec tensor.ConvSpec) (out, mag []float64) {
+	spec = spec.Normalize()
+	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
+	oh, ow := spec.OutDims(h, w)
+	icg := spec.InC / spec.Groups
+	ocg := spec.OutC / spec.Groups
+	ind, wd := in.Data(), weight.Data()
+	out = make([]float64, n*spec.OutC*oh*ow)
+	mag = make([]float64, len(out))
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < spec.OutC; oc++ {
+			g := oc / ocg
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc, bound float64
+					if bias != nil {
+						acc = float64(bias.Data()[oc])
+						bound = math.Abs(acc)
+					}
+					for ic := 0; ic < icg; ic++ {
+						for ky := 0; ky < spec.KH; ky++ {
+							iy := oy*spec.StrideH - spec.PadH + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < spec.KW; kx++ {
+								ix := ox*spec.StrideW - spec.PadW + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								x := float64(ind[((b*spec.InC+g*icg+ic)*h+iy)*w+ix])
+								wv := float64(wd[((oc*icg+ic)*spec.KH+ky)*spec.KW+kx])
+								acc += wv * x
+								bound += math.Abs(wv * x)
+							}
+						}
+					}
+					idx := ((b*spec.OutC+oc)*oh+oy)*ow + ox
+					out[idx] = acc
+					mag[idx] = bound
+				}
+			}
+		}
+	}
+	return out, mag
+}
+
+// RefDense computes a fully connected layer in float64.
+// in is [n, k]; weight is [m, k]; bias is nil or [m]. The result is the
+// [n, m] output flattened row-major plus its magnitude bound.
+func RefDense(in, weight, bias *tensor.Tensor) (out, mag []float64) {
+	n, k := in.Dim(0), in.Dim(1)
+	m := weight.Dim(0)
+	ind, wd := in.Data(), weight.Data()
+	out = make([]float64, n*m)
+	mag = make([]float64, len(out))
+	for b := 0; b < n; b++ {
+		for i := 0; i < m; i++ {
+			var acc, bound float64
+			if bias != nil {
+				acc = float64(bias.Data()[i])
+				bound = math.Abs(acc)
+			}
+			for j := 0; j < k; j++ {
+				wv := float64(wd[i*k+j])
+				x := float64(ind[b*k+j])
+				acc += wv * x
+				bound += math.Abs(wv * x)
+			}
+			out[b*m+i] = acc
+			mag[b*m+i] = bound
+		}
+	}
+	return out, mag
+}
+
+// RefMatMul computes dst[r, j] = Σ_c w[r, c]·b[c, j] in float64 for a dense
+// [m, k] matrix against a [k, p] column matrix, with the magnitude bound.
+func RefMatMul(w, b []float32, m, k, p int) (out, mag []float64) {
+	out = make([]float64, m*p)
+	mag = make([]float64, len(out))
+	for r := 0; r < m; r++ {
+		for j := 0; j < p; j++ {
+			var acc, bound float64
+			for c := 0; c < k; c++ {
+				wv := float64(w[r*k+c])
+				x := float64(b[c*p+j])
+				acc += wv * x
+				bound += math.Abs(wv * x)
+			}
+			out[r*p+j] = acc
+			mag[r*p+j] = bound
+		}
+	}
+	return out, mag
+}
+
+// RefProgramWeights reconstructs the dense [M, K] float coefficient matrix
+// an encoded program evaluates with: Decode gives the integer code of every
+// (row, column) slot, and the row's term list maps each code to the exact
+// float32 Value the float execution path multiplies by. The reconstruction
+// uses the program's own Values, so Execute on the result is the same
+// arithmetic the program performs, reassociated.
+func RefProgramWeights(p *ipe.Program) ([]float32, error) {
+	codes, err := p.Decode()
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float32, p.M*p.K)
+	for r := 0; r < p.M; r++ {
+		val := make(map[int32]float32, len(p.Rows[r].Terms))
+		for _, t := range p.Rows[r].Terms {
+			val[t.Code] = t.Value
+		}
+		for c := 0; c < p.K; c++ {
+			code := codes[r*p.K+c]
+			if code == 0 {
+				continue
+			}
+			v, ok := val[code]
+			if !ok {
+				return nil, fmt.Errorf("conformance: program row %d decodes code %d with no matching term", r, code)
+			}
+			w[r*p.K+c] = v
+		}
+	}
+	return w, nil
+}
+
+// RefProgramInt computes the exact integer product y[r] = Σ_c codes[r, c]·x[c]
+// over a decoded [m, k] code matrix — the straight-loop equivalent of
+// Program.ExecuteInt, equal by associativity of int64 addition.
+func RefProgramInt(codes []int32, m, k int, x []int32) []int64 {
+	y := make([]int64, m)
+	for r := 0; r < m; r++ {
+		var acc int64
+		for c := 0; c < k; c++ {
+			acc += int64(codes[r*k+c]) * int64(x[c])
+		}
+		y[r] = acc
+	}
+	return y
+}
+
+// refSqrt32 replicates tensor.BatchNorm's sqrt32 bit for bit (Newton from a
+// seed of x itself, which does not fully converge for small x) so the graph
+// reference computes the same per-channel scale the kernels do.
+func refSqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	z := 0.5 * (float64(x) + 1)
+	z = 0.5 * (z + float64(x)/z)
+	z = 0.5 * (z + float64(x)/z)
+	z = 0.5 * (z + float64(x)/z)
+	return float32(z)
+}
+
+// RefGraph evaluates a whole graph with the reference layer math. Each
+// node's output is computed with float64 accumulation and rounded to
+// float32 at the node boundary, mirroring how the real executors hand
+// float32 activations between layers. overrides maps node IDs to
+// replacement weight tensors for conv/dense nodes (used to evaluate a
+// compiled plan's quantized layers on their dequantized weights); pass nil
+// to use each node's own parameters. FusedReLU attributes are honored.
+func RefGraph(g *graph.Graph, input *tensor.Tensor, overrides map[int]*tensor.Tensor) ([]float64, error) {
+	if !input.Shape().Equal(g.In.OutShape) {
+		return nil, fmt.Errorf("conformance: input shape %v != declared %v", input.Shape(), g.In.OutShape)
+	}
+	weightOf := func(n *graph.Node) *tensor.Tensor {
+		if w, ok := overrides[n.ID]; ok {
+			return w
+		}
+		return n.Param("weight")
+	}
+	vals := make(map[*graph.Node]*tensor.Tensor)
+	vals[g.In] = input
+	for _, n := range g.Topo() {
+		var out []float64
+		switch n.Kind {
+		case graph.OpInput:
+			continue
+		case graph.OpConst:
+			vals[n] = n.Value
+			continue
+		case graph.OpConv:
+			out, _ = RefConv2D(vals[n.Inputs[0]], weightOf(n), n.Param("bias"), n.Attrs.Conv)
+		case graph.OpDense:
+			out, _ = RefDense(vals[n.Inputs[0]], weightOf(n), n.Param("bias"))
+		case graph.OpBatchNorm:
+			out = refBatchNorm(vals[n.Inputs[0]], n)
+		case graph.OpReLU:
+			in := vals[n.Inputs[0]].Data()
+			out = make([]float64, len(in))
+			for i, v := range in {
+				if v > 0 {
+					out[i] = float64(v)
+				}
+			}
+		case graph.OpMaxPool:
+			out = refMaxPool(vals[n.Inputs[0]], n.Attrs.Pool)
+		case graph.OpAvgPool:
+			out = refAvgPool(vals[n.Inputs[0]], n.Attrs.Pool)
+		case graph.OpGlobalAvgPool:
+			out = refGlobalAvgPool(vals[n.Inputs[0]])
+		case graph.OpAdd:
+			a, b := vals[n.Inputs[0]].Data(), vals[n.Inputs[1]].Data()
+			out = make([]float64, len(a))
+			for i := range a {
+				out[i] = float64(a[i]) + float64(b[i])
+			}
+		case graph.OpFlatten:
+			in := vals[n.Inputs[0]].Data()
+			out = make([]float64, len(in))
+			for i, v := range in {
+				out[i] = float64(v)
+			}
+		case graph.OpSoftmax:
+			out = refSoftmax(vals[n.Inputs[0]])
+		case graph.OpConcat:
+			out = refConcat(n, vals)
+		default:
+			return nil, fmt.Errorf("conformance: reference has no rule for %s", n)
+		}
+		if n.Attrs.FusedReLU {
+			for i, v := range out {
+				if v < 0 {
+					out[i] = 0
+				}
+			}
+		}
+		if n == g.Out {
+			return out, nil
+		}
+		// Round to float32 at the node boundary: real executors hand
+		// float32 activations between layers, and the tolerance model
+		// compares per node, not per accumulated float64 chain.
+		t := tensor.New(n.OutShape...)
+		d := t.Data()
+		if len(d) != len(out) {
+			return nil, fmt.Errorf("conformance: %s produced %d elements, shape %v wants %d",
+				n, len(out), n.OutShape, len(d))
+		}
+		for i, v := range out {
+			d[i] = float32(v)
+		}
+		vals[n] = t
+	}
+	return nil, fmt.Errorf("conformance: graph output %s was never reached", g.Out)
+}
+
+func refBatchNorm(in *tensor.Tensor, n *graph.Node) []float64 {
+	c, hw := in.Dim(1), in.Dim(2)*in.Dim(3)
+	batches := in.Dim(0)
+	g := n.Param("gamma").Data()
+	bt := n.Param("beta").Data()
+	mu := n.Param("mean").Data()
+	va := n.Param("var").Data()
+	ind := in.Data()
+	out := make([]float64, len(ind))
+	for b := 0; b < batches; b++ {
+		for ch := 0; ch < c; ch++ {
+			// Scale and shift are computed in float32 exactly as the kernel
+			// does (including its Newton sqrt); only the elementwise apply
+			// runs in float64.
+			scale := g[ch] / refSqrt32(va[ch]+n.Attrs.Eps)
+			shift := bt[ch] - mu[ch]*scale
+			base := (b*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				out[base+i] = float64(ind[base+i])*float64(scale) + float64(shift)
+			}
+		}
+	}
+	return out
+}
+
+func refMaxPool(in *tensor.Tensor, p graph.PoolAttrs) []float64 {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*p.PadH-p.KH)/p.StrideH + 1
+	ow := (w+2*p.PadW-p.KW)/p.StrideW + 1
+	ind := in.Data()
+	out := make([]float64, n*c*oh*ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := 0.0
+					first := true
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := float64(ind[base+iy*w+ix])
+							if first || v > best {
+								best = v
+								first = false
+							}
+						}
+					}
+					out[((b*c+ch)*oh+oy)*ow+ox] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+func refAvgPool(in *tensor.Tensor, p graph.PoolAttrs) []float64 {
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*p.PadH-p.KH)/p.StrideH + 1
+	ow := (w+2*p.PadW-p.KW)/p.StrideW + 1
+	ind := in.Data()
+	out := make([]float64, n*c*oh*ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float64
+					cnt := 0
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += float64(ind[base+iy*w+ix])
+							cnt++
+						}
+					}
+					var v float64
+					if cnt > 0 {
+						v = sum / float64(cnt)
+					}
+					out[((b*c+ch)*oh+oy)*ow+ox] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func refGlobalAvgPool(in *tensor.Tensor) []float64 {
+	n, c, hw := in.Dim(0), in.Dim(1), in.Dim(2)*in.Dim(3)
+	ind := in.Data()
+	out := make([]float64, n*c)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			var s float64
+			for i := 0; i < hw; i++ {
+				s += float64(ind[base+i])
+			}
+			out[b*c+ch] = s / float64(hw)
+		}
+	}
+	return out
+}
+
+func refSoftmax(in *tensor.Tensor) []float64 {
+	n, k := in.Dim(0), in.Dim(1)
+	ind := in.Data()
+	out := make([]float64, n*k)
+	for b := 0; b < n; b++ {
+		row := ind[b*k : (b+1)*k]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - mx))
+			out[b*k+i] = e
+			sum += e
+		}
+		for i := 0; i < k; i++ {
+			out[b*k+i] /= sum
+		}
+	}
+	return out
+}
+
+func refConcat(n *graph.Node, vals map[*graph.Node]*tensor.Tensor) []float64 {
+	batches := vals[n.Inputs[0]].Dim(0)
+	h, w := vals[n.Inputs[0]].Dim(2), vals[n.Inputs[0]].Dim(3)
+	totalC := 0
+	for _, in := range n.Inputs {
+		totalC += vals[in].Dim(1)
+	}
+	out := make([]float64, batches*totalC*h*w)
+	for b := 0; b < batches; b++ {
+		off := 0
+		for _, in := range n.Inputs {
+			t := vals[in]
+			c := t.Dim(1)
+			src := t.Data()[b*c*h*w : (b+1)*c*h*w]
+			dst := out[(b*totalC+off)*h*w:]
+			for i, v := range src {
+				dst[i] = float64(v)
+			}
+			off += c
+		}
+	}
+	return out
+}

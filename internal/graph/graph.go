@@ -263,6 +263,27 @@ func (g *Graph) InferShapes() error {
 }
 
 func inferShape(n *Node) (tensor.Shape, error) {
+	// Validate arity before touching n.Inputs: deserialized graphs can
+	// carry any input list, and shape inference must reject them with an
+	// error, not an index panic.
+	switch {
+	case n.Kind == OpInput || n.Kind == OpConst:
+		if len(n.Inputs) != 0 {
+			return nil, fmt.Errorf("%v takes no inputs, has %d", n.Kind, len(n.Inputs))
+		}
+	case n.Kind == OpAdd:
+		if len(n.Inputs) != 2 {
+			return nil, fmt.Errorf("add takes 2 inputs, has %d", len(n.Inputs))
+		}
+	case n.Kind == OpConcat:
+		if len(n.Inputs) == 0 {
+			return nil, fmt.Errorf("concat needs at least one input")
+		}
+	default:
+		if len(n.Inputs) != 1 {
+			return nil, fmt.Errorf("%v takes 1 input, has %d", n.Kind, len(n.Inputs))
+		}
+	}
 	in := func(i int) tensor.Shape { return n.Inputs[i].OutShape }
 	switch n.Kind {
 	case OpInput:
@@ -271,6 +292,9 @@ func inferShape(n *Node) (tensor.Shape, error) {
 		}
 		return n.OutShape, nil
 	case OpConst:
+		if n.Value == nil {
+			return nil, fmt.Errorf("const has no value")
+		}
 		return n.Value.Shape(), nil
 	case OpConv:
 		s := in(0)
@@ -310,6 +334,9 @@ func inferShape(n *Node) (tensor.Shape, error) {
 			return nil, fmt.Errorf("pool input must be rank 4, got %v", s)
 		}
 		p := n.Attrs.Pool
+		if p.KH <= 0 || p.KW <= 0 || p.StrideH <= 0 || p.StrideW <= 0 || p.PadH < 0 || p.PadW < 0 {
+			return nil, fmt.Errorf("invalid pool attrs %+v", p)
+		}
 		oh := (s[2]+2*p.PadH-p.KH)/p.StrideH + 1
 		ow := (s[3]+2*p.PadW-p.KW)/p.StrideW + 1
 		if oh <= 0 || ow <= 0 {
@@ -330,6 +357,9 @@ func inferShape(n *Node) (tensor.Shape, error) {
 		return a, nil
 	case OpFlatten:
 		s := in(0)
+		if s.Rank() < 1 {
+			return nil, fmt.Errorf("flatten input must have a batch dim, got %v", s)
+		}
 		return tensor.Shape{s[0], s.NumElements() / s[0]}, nil
 	case OpSoftmax:
 		s := in(0)

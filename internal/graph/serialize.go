@@ -187,15 +187,24 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: implausible tensor size")
 			}
 		}
-		t := tensor.New(dims...)
-		for i := range t.Data() {
-			bits, err := getU32()
-			if err != nil {
+		// Read the payload in bounded chunks, growing the buffer only as
+		// data actually arrives: a few adversarial header bytes claiming a
+		// maximal element count must not force a gigabyte allocation
+		// before the stream runs dry.
+		const chunk = 1 << 16
+		data := make([]float32, 0, min(elems, chunk))
+		buf := make([]byte, 4*min(elems, chunk))
+		for remaining := elems; remaining > 0; {
+			c := min(remaining, chunk)
+			if _, err := io.ReadFull(br, buf[:4*c]); err != nil {
 				return nil, err
 			}
-			t.Data()[i] = math.Float32frombits(bits)
+			for i := 0; i < c; i++ {
+				data = append(data, math.Float32frombits(le.Uint32(buf[4*i:])))
+			}
+			remaining -= c
 		}
-		return t, nil
+		return tensor.From(data, dims...), nil
 	}
 
 	magic, err := getU32()
@@ -336,6 +345,16 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	g.Out = nodes[outID]
 	if g.In.Kind != OpInput {
 		return nil, fmt.Errorf("graph: declared input node is %v, not Input", g.In.Kind)
+	}
+	reachesIn := false
+	for _, n := range g.Topo() {
+		if n == g.In {
+			reachesIn = true
+			break
+		}
+	}
+	if !reachesIn {
+		return nil, fmt.Errorf("graph: input node does not reach the output")
 	}
 	if err := g.InferShapes(); err != nil {
 		return nil, fmt.Errorf("graph: loaded model fails shape inference: %w", err)

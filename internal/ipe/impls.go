@@ -1,0 +1,140 @@
+package ipe
+
+import (
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Registration shims for the conformance harness (internal/conformance):
+// every execution path of an encoded program or layer, enumerated so the
+// differential driver can run them all without knowing this package's
+// internals. Variants inside one enumeration entry share an accumulation
+// order and must be bit-identical; the harness enforces that.
+
+// RowScale exposes the per-row weight scale the integer requantization path
+// uses (Value = Scale·Code on every term of the row), so an external
+// reference can replicate the float requantization bit for bit.
+func (p *Program) RowScale(r int) float32 { return p.rowScale(r) }
+
+// ConvVariant is one execution path of an encoded convolution layer.
+type ConvVariant struct {
+	Name    string
+	UsesPar bool
+	F       func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par)
+}
+
+// ConvVariants enumerates the float execution paths of ConvLayer. All of
+// them are bit-identical for any shard count (documented on
+// ForwardIntoPar).
+func ConvVariants() []ConvVariant {
+	return []ConvVariant{
+		{Name: "forward", F: func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par) {
+			copy(dst.Data(), l.Forward(in).Data())
+		}},
+		{Name: "forward-into", F: func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par) {
+			var s tensor.Scratch
+			l.ForwardInto(dst, in, &s)
+		}},
+		{Name: "forward-into-par", UsesPar: true, F: func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par) {
+			l.ForwardIntoPar(dst, in, par)
+		}},
+	}
+}
+
+// DenseVariant is one execution path of an encoded dense layer.
+type DenseVariant struct {
+	Name string
+	F    func(l *DenseLayer, dst, in *tensor.Tensor)
+}
+
+// DenseVariants enumerates the float execution paths of DenseLayer
+// (bit-identical: Forward delegates to ForwardInto).
+func DenseVariants() []DenseVariant {
+	return []DenseVariant{
+		{Name: "forward", F: func(l *DenseLayer, dst, in *tensor.Tensor) {
+			copy(dst.Data(), l.Forward(in).Data())
+		}},
+		{Name: "forward-into", F: func(l *DenseLayer, dst, in *tensor.Tensor) {
+			var s tensor.Scratch
+			l.ForwardInto(dst, in, &s)
+		}},
+	}
+}
+
+// VectorVariant is one execution path of Program evaluation on a single
+// input vector.
+type VectorVariant struct {
+	Name string
+	F    func(p *Program, x, y []float32)
+}
+
+// VectorVariants enumerates the single-vector float paths (bit-identical:
+// Execute delegates to ExecuteScratch).
+func VectorVariants() []VectorVariant {
+	return []VectorVariant{
+		{Name: "execute", F: func(p *Program, x, y []float32) { p.Execute(x, y) }},
+		{Name: "execute-scratch", F: func(p *Program, x, y []float32) {
+			p.ExecuteScratch(x, y, make([]float32, p.NumSymbols()))
+		}},
+	}
+}
+
+// MatrixVariant is one execution path of Program evaluation on a [K, P]
+// column matrix, writing the [M, P] result into dst.
+type MatrixVariant struct {
+	Name    string
+	UsesPar bool
+	F       func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par)
+}
+
+// MatrixVariants enumerates the column-blocked matrix paths. Shard
+// boundaries are colBlock-aligned, so all variants are bit-identical for
+// any shard count (documented on ExecuteMatrixIntoPar).
+func MatrixVariants() []MatrixVariant {
+	return []MatrixVariant{
+		{Name: "matrix", F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
+			copy(dst, p.ExecuteMatrix(tensor.From(cols, p.K, pTotal)).Data())
+		}},
+		{Name: "matrix-into", F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
+			var s tensor.Scratch
+			p.ExecuteMatrixInto(dst, cols, pTotal, &s)
+		}},
+		{Name: "matrix-into-par", UsesPar: true, F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
+			p.ExecuteMatrixIntoPar(dst, cols, pTotal, par)
+		}},
+	}
+}
+
+// IntVariant is one execution path of exact integer program evaluation.
+type IntVariant struct {
+	Name string
+	F    func(p *Program, x []int32, y []int64)
+}
+
+// IntVariants enumerates the integer paths (exactly equal by int
+// associativity; the harness checks them bitwise against a straight-loop
+// reference).
+func IntVariants() []IntVariant {
+	return []IntVariant{
+		{Name: "int", F: func(p *Program, x []int32, y []int64) { p.ExecuteInt(x, y) }},
+		{Name: "int-scratch", F: func(p *Program, x []int32, y []int64) {
+			p.ExecuteIntScratch(x, y, make([]int64, p.NumSymbols()))
+		}},
+	}
+}
+
+// ConvEncoders enumerates the ways a convolution can be encoded into a
+// ConvLayer; each encoder yields its own program (and thus its own
+// accumulation order), so the harness treats each as a separate family.
+type ConvEncoder struct {
+	Name string
+	F    func(w, bias *tensor.Tensor, spec tensor.ConvSpec, bits int, scheme quant.Scheme, cfg Config) (*ConvLayer, Stats, error)
+}
+
+// ConvEncoders returns the per-group and shared-dictionary encoders.
+func ConvEncoders() []ConvEncoder {
+	return []ConvEncoder{
+		{Name: "ipe", F: EncodeConv},
+		{Name: "ipe-shared", F: EncodeConvShared},
+	}
+}

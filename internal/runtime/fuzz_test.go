@@ -1,0 +1,51 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// FuzzPlanner drives the arena planner over generator seeds: every graph
+// the conformance generator can produce, before and after the optimizer,
+// must plan into an arena where ValidatePlan finds no overlapping live
+// buffers, every computed node has an allocation at least as large as its
+// output, and the reported arena size bounds every placement.
+func FuzzPlanner(f *testing.F) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		gc := conformance.GenGraph(seed)
+		for _, pass := range []string{"raw", "optimized"} {
+			g := gc.Graph.Clone()
+			if pass == "optimized" {
+				if err := graph.Optimize(g); err != nil {
+					t.Fatalf("seed %d: Optimize: %v", seed, err)
+				}
+			}
+			plans, arenaBytes, err := runtime.PlanMemory(g)
+			if err != nil {
+				t.Fatalf("seed %d (%s): PlanMemory: %v", seed, pass, err)
+			}
+			if err := runtime.ValidatePlan(g, plans, arenaBytes); err != nil {
+				t.Fatalf("seed %d (%s): %v", seed, pass, err)
+			}
+			for _, n := range g.Topo() {
+				if n.Kind == graph.OpInput || n.Kind == graph.OpConst {
+					continue
+				}
+				al, ok := plans[n.ID]
+				if !ok {
+					t.Fatalf("seed %d (%s): computed node %s has no allocation", seed, pass, n)
+				}
+				if need := int64(n.OutShape.NumElements()) * 4; al.Size < need {
+					t.Fatalf("seed %d (%s): %s allocation %d bytes < output %d bytes",
+						seed, pass, n, al.Size, need)
+				}
+			}
+		}
+	})
+}

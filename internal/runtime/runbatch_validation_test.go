@@ -1,0 +1,85 @@
+package runtime_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// compileSmallPlan builds and compiles a tiny conv→flatten→dense model
+// with a compiled batch of 2, so batch-multiple validation is observable.
+func compileSmallPlan(t *testing.T) *runtime.Plan {
+	t.Helper()
+	g := graph.New("batch-validation", 2, 1, 4, 4)
+	spec := tensor.ConvSpec{InC: 1, OutC: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	w := tensor.New(spec.WeightShape()...)
+	tensor.FillGaussian(w, tensor.NewRNG(11), 0.5)
+	x := g.Conv(g.In, "c", spec, w, nil)
+	x = g.Flatten(x, "f")
+	fc := tensor.New(3, 2*4*4)
+	tensor.FillGaussian(fc, tensor.NewRNG(12), 0.1)
+	g.SetOutput(g.Dense(x, "fc", fc, nil))
+	plan, err := runtime.Compile(g, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	plan := compileSmallPlan(t)
+	cases := []struct {
+		name    string
+		shape   []int
+		workers int
+		wantErr string // substring of the expected error; "" means success
+	}{
+		{name: "rank mismatch", shape: []int{4, 16}, wantErr: "rank"},
+		{name: "channel mismatch", shape: []int{4, 2, 4, 4}, wantErr: "does not match compiled input"},
+		{name: "height mismatch", shape: []int{4, 1, 5, 4}, wantErr: "does not match compiled input"},
+		{name: "width mismatch", shape: []int{4, 1, 4, 3}, wantErr: "does not match compiled input"},
+		{name: "batch not a multiple of compiled batch", shape: []int{3, 1, 4, 4}, wantErr: "not a multiple"},
+		{name: "single chunk", shape: []int{2, 1, 4, 4}},
+		{name: "two chunks default workers", shape: []int{4, 1, 4, 4}},
+		{name: "three chunks two workers", shape: []int{6, 1, 4, 4}, workers: 2},
+		{name: "more workers than chunks", shape: []int{4, 1, 4, 4}, workers: 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tensor.New(tc.shape...)
+			tensor.FillGaussian(in, tensor.NewRNG(99), 1)
+			out, err := plan.RunBatch(in, tc.workers)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got output %v", tc.wantErr, out.Shape())
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBatch := tc.shape[0] / 2 * plan.Graph.Out.OutShape[0]
+			if out.Dim(0) != wantBatch {
+				t.Fatalf("output batch %d, want %d", out.Dim(0), wantBatch)
+			}
+		})
+	}
+
+	// An empty batch cannot reach RunBatch from outside: the tensor layer
+	// rejects zero dims at construction, and RunBatch's own total==0 guard
+	// is defense in depth behind it.
+	t.Run("empty batch unrepresentable", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("tensor.New accepted a zero batch dimension")
+			}
+		}()
+		tensor.New(0, 1, 4, 4)
+	})
+}
