@@ -13,7 +13,7 @@ FUZZ_TARGETS := \
 	./internal/conformance:FuzzConformanceProgram \
 	./internal/conformance:FuzzConformanceGraph
 
-.PHONY: verify build test race vet fuzz cover bench bench-json
+.PHONY: verify build test race vet fuzz cover bench bench-smoke bench-json bench-json3
 
 verify: build test race vet
 
@@ -46,6 +46,17 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# One iteration of every benchmark in the module: a smoke check that the
+# measured kernels still compile and execute, not a measurement. Cheap
+# enough to gate CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 # Paired serial-vs-sharded wall-time measurements for the intra-op pool.
 bench-json:
 	$(GO) run ./cmd/inspire-perf > BENCH_2.json
+
+# Interpreted-vs-compiled executor measurements over the LeNet-5 and
+# SqueezeNet layer shapes.
+bench-json3:
+	$(GO) run ./cmd/inspire-perf -compiled > BENCH_3.json

@@ -1,24 +1,32 @@
-// Command inspire-perf measures the wall-time effect of intra-op kernel
-// sharding: each hot kernel and the end-to-end executor run once serial
-// (parallelism 1) and once sharded over the process-wide worker pool, and
-// the paired timings are emitted as JSON (see BENCH_2.json).
+// Command inspire-perf measures the serving-path wall time in two modes:
 //
-// Usage:
+//	inspire-perf           > BENCH_2.json   # serial vs intra-op sharded
+//	inspire-perf -compiled > BENCH_3.json   # interpreted vs compiled IPE
 //
-//	inspire-perf > BENCH_2.json
+// The default mode times each hot kernel and the end-to-end executor once
+// serial (parallelism 1) and once sharded over the process-wide worker
+// pool. The -compiled mode walks the LeNet-5 and SqueezeNet graphs,
+// index-pair encodes every conv/dense layer, and times the interpreted
+// Program executors against their compiled (flat, slot-compacted) forms —
+// outputs are bit-identical by construction, so the report is purely a
+// speed and scratch-footprint comparison.
 //
-// The report records GOMAXPROCS/NumCPU: on a single-core runner the sharded
-// numbers demonstrate bounded overhead (the pool runs shards inline when no
-// helper tokens are free), while multi-core runners show the speedup.
+// Both reports record GOMAXPROCS/NumCPU: on a single-core runner the
+// sharded numbers demonstrate bounded overhead (the pool runs shards
+// inline when no helper tokens are free), while multi-core runners show
+// the speedup.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
 	goruntime "runtime"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/ipe"
 	"repro/internal/nn"
 	"repro/internal/parallel"
@@ -65,6 +73,18 @@ func bench(name string, shards int, serial, par func()) pair {
 }
 
 func main() {
+	compiled := flag.Bool("compiled", false,
+		"emit BENCH_3: interpreted-vs-compiled IPE executor timings over the LeNet/SqueezeNet layers")
+	flag.Parse()
+	if *compiled {
+		benchCompiled()
+		return
+	}
+	benchSharding()
+}
+
+// benchSharding is the BENCH_2 report: serial vs intra-op sharded.
+func benchSharding() {
 	shards := goruntime.GOMAXPROCS(0)
 	if shards < 2 {
 		shards = 2 // still exercise the sharded code path on one core
@@ -167,5 +187,182 @@ func main() {
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// compiledPair is one layer-program measurement of the BENCH_3 report.
+type compiledPair struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"` // "matrix" (conv im2col) or "vector" (dense)
+	InterpNsOp   int64   `json:"interpreted_ns_op"`
+	CompiledNsOp int64   `json:"compiled_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	K            int     `json:"k"`
+	M            int     `json:"m"`
+	Cols         int     `json:"cols"`
+	NumSymbols   int     `json:"num_symbols"`
+	NumSlots     int     `json:"num_slots"`
+	// Footprint is the compiled scratch residency relative to the
+	// interpreter: (K + NumSlots) / NumSymbols.
+	Footprint float64 `json:"scratch_footprint"`
+}
+
+type compiledReportJSON struct {
+	Benchmark            string         `json:"benchmark"`
+	GOOS                 string         `json:"goos"`
+	GOARCH               string         `json:"goarch"`
+	NumCPU               int            `json:"num_cpu"`
+	GOMAXPROCS           int            `json:"gomaxprocs"`
+	Note                 string         `json:"note"`
+	GeomeanMatrixSpeedup float64        `json:"geomean_matrix_speedup"`
+	GeomeanSpeedup       float64        `json:"geomean_speedup"`
+	Results              []compiledPair `json:"results"`
+}
+
+// timePair runs the two closures under testing.Benchmark and fills the
+// timing fields of a compiledPair built from prog's compiled form. The two
+// sides are interleaved three times and the minimum ns/op of each is kept —
+// the minimum is the run least disturbed by neighbors on a shared box, and
+// interleaving keeps slow machine phases from landing on one side only.
+func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled func()) compiledPair {
+	c := prog.Compiled()
+	run := func(f func()) int64 {
+		return testing.Benchmark(func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				f()
+			}
+		}).NsPerOp()
+	}
+	var in, cn int64
+	for rep := 0; rep < 3; rep++ {
+		if i := run(interp); rep == 0 || i < in {
+			in = i
+		}
+		if cc := run(compiled); rep == 0 || cc < cn {
+			cn = cc
+		}
+	}
+	sp := 0.0
+	if cn > 0 {
+		sp = float64(in) / float64(cn)
+	}
+	return compiledPair{
+		Name: name, Kind: kind,
+		InterpNsOp: in, CompiledNsOp: cn, Speedup: sp,
+		K: prog.K, M: prog.M, Cols: cols,
+		NumSymbols: prog.NumSymbols(), NumSlots: c.NumSlots,
+		Footprint: float64(prog.K+c.NumSlots) / float64(prog.NumSymbols()),
+	}
+}
+
+// benchCompiled is the BENCH_3 report: for every conv/dense layer of the
+// LeNet-5 and SqueezeNet evaluation models (deduplicated by geometry), the
+// interpreted matrix/vector executor against the compiled one on the
+// layer's real serving shape.
+func benchCompiled() {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
+		os.Exit(1)
+	}
+	models := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"lenet5", nn.LeNet5(1, 9)},
+		{"squeezenet", nn.SqueezeNet(1, 32, 10, 11)},
+	}
+	var results []compiledPair
+	seen := make(map[string]bool)
+	rng := tensor.NewRNG(77)
+	for _, m := range models {
+		if err := m.g.InferShapes(); err != nil {
+			fail(err)
+		}
+		for _, n := range m.g.Topo() {
+			switch n.Kind {
+			case graph.OpConv:
+				spec := n.Attrs.Conv
+				p := n.OutShape[2] * n.OutShape[3] // im2col columns, batch 1
+				key := fmt.Sprintf("conv/%d/%d/%d", spec.InC*spec.KH*spec.KW/spec.Groups, spec.OutC/spec.Groups, p)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				l, _, err := ipe.EncodeConv(n.Param("weight"), n.Param("bias"), spec, 4, quant.PerTensor, ipe.DefaultConfig())
+				if err != nil {
+					fail(fmt.Errorf("%s/%s: %w", m.name, n.Name, err))
+				}
+				prog := l.Programs[0]
+				cols := make([]float32, prog.K*p)
+				for i := range cols {
+					cols[i] = rng.Float32() - 0.5
+				}
+				dst := make([]float32, prog.M*p)
+				var si, sc tensor.Scratch
+				c := prog.Compiled()
+				results = append(results, timePair(m.name+"/"+n.Name, "matrix", prog, p,
+					func() { prog.ExecuteMatrixInto(dst, cols, p, &si) },
+					func() { c.ExecuteMatrixInto(dst, cols, p, &sc) },
+				))
+			case graph.OpDense:
+				w := n.Param("weight")
+				key := fmt.Sprintf("dense/%d/%d", w.Dim(0), w.Dim(1))
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				l, _, err := ipe.EncodeDense(w, n.Param("bias"), 4, quant.PerTensor, ipe.DefaultConfig())
+				if err != nil {
+					fail(fmt.Errorf("%s/%s: %w", m.name, n.Name, err))
+				}
+				prog := l.Program
+				x := make([]float32, prog.K)
+				for i := range x {
+					x[i] = rng.Float32() - 0.5
+				}
+				y := make([]float32, prog.M)
+				c := prog.Compiled()
+				scratch := make([]float32, prog.NumSymbols())
+				cScratch := make([]float32, c.ScratchLen())
+				results = append(results, timePair(m.name+"/"+n.Name, "vector", prog, 1,
+					func() { prog.ExecuteScratch(x, y, scratch) },
+					func() { c.ExecuteScratch(x, y, cScratch) },
+				))
+			}
+		}
+	}
+
+	geomean := func(kind string) float64 {
+		var sum float64
+		var n int
+		for _, r := range results {
+			if (kind == "" || r.Kind == kind) && r.Speedup > 0 {
+				sum += math.Log(r.Speedup)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return math.Exp(sum / float64(n))
+	}
+	out := compiledReportJSON{
+		Benchmark:  "BENCH_3: interpreted vs compiled IPE execution (bit-identical outputs)",
+		GOOS:       goruntime.GOOS,
+		GOARCH:     goruntime.GOARCH,
+		NumCPU:     goruntime.NumCPU(),
+		GOMAXPROCS: goruntime.GOMAXPROCS(0),
+		Note: "speedup = interpreted_ns_op / compiled_ns_op on each layer's real serving shape " +
+			"(batch-1 im2col columns for convs, single vectors for dense); scratch_footprint = " +
+			"(K + NumSlots) / NumSymbols, the compiled working set relative to the interpreter's " +
+			"one-word-per-symbol scratchpad; layers deduplicated by geometry",
+		GeomeanMatrixSpeedup: geomean("matrix"),
+		GeomeanSpeedup:       geomean(""),
+		Results:              results,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
 	}
 }

@@ -77,7 +77,8 @@ func (l *ConvLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
 // ForwardInto is Forward writing into a preallocated [n, outC, oh, ow]
 // destination, drawing the im2col and program buffers from the caller's
 // Scratch: once the scratch is warm, execution performs no heap
-// allocations. dst must not alias in.
+// allocations. Programs run in their compiled form (compile.go), which is
+// bit-identical to the interpreter. dst must not alias in.
 func (l *ConvLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
@@ -94,7 +95,7 @@ func (l *ConvLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 	for b := 0; b < n; b++ {
 		for g := 0; g < spec.Groups; g++ {
 			tensor.Im2colGroupInto(col, in, b, g, spec)
-			l.Programs[g].ExecuteMatrixInto(res, col, oh*ow, s) // [ocg, oh*ow]
+			l.Programs[g].Compiled().ExecuteMatrixInto(res, col, oh*ow, s) // [ocg, oh*ow]
 			l.addBias(od, res, b, g, ocg, oh*ow)
 		}
 	}
@@ -124,7 +125,7 @@ func (l *ConvLayer) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
 	for b := 0; b < n; b++ {
 		for g := 0; g < spec.Groups; g++ {
 			tensor.Im2colGroupIntoPar(col, in, b, g, spec, par)
-			l.Programs[g].ExecuteMatrixIntoPar(res, col, oh*ow, par)
+			l.Programs[g].Compiled().ExecuteMatrixIntoPar(res, col, oh*ow, par)
 			l.addBias(od, res, b, g, ocg, oh*ow)
 		}
 	}
@@ -197,8 +198,8 @@ func (l *DenseLayer) Forward(in *tensor.Tensor) *tensor.Tensor {
 }
 
 // ForwardInto is Forward writing into a preallocated [n, m] destination,
-// drawing the partial-sum scratchpad from the caller's Scratch. dst must
-// not alias in.
+// drawing the (slot-compacted, compiled-form) partial-sum scratchpad from
+// the caller's Scratch. dst must not alias in.
 func (l *DenseLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 	n, k := in.Dim(0), in.Dim(1)
 	if k != l.Program.K {
@@ -207,11 +208,12 @@ func (l *DenseLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 	if dst.NumElements() != n*l.Program.M {
 		panic(fmt.Sprintf("ipe: ForwardInto dst %v != [%d %d]", dst.Shape(), n, l.Program.M))
 	}
+	c := l.Program.Compiled()
 	mark := s.Mark()
-	scratch := s.Take(l.Program.NumSymbols())
+	scratch := s.Take(c.ScratchLen())
 	od := dst.Data()
 	for b := 0; b < n; b++ {
-		l.Program.ExecuteScratch(in.Data()[b*k:(b+1)*k], od[b*l.Program.M:(b+1)*l.Program.M], scratch)
+		c.ExecuteScratch(in.Data()[b*k:(b+1)*k], od[b*l.Program.M:(b+1)*l.Program.M], scratch)
 	}
 	if l.Bias != nil {
 		bd := l.Bias.Data()

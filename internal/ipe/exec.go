@@ -110,11 +110,19 @@ func (p *Program) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
 // warmed steady-state execution performs no heap allocations. The scratch
 // watermark is restored before returning.
 func (p *Program) ExecuteMatrixInto(dst, cols []float32, pTotal int, s *tensor.Scratch) {
-	if len(cols) < p.K*pTotal || len(dst) < p.M*pTotal {
-		panic(fmt.Sprintf("ipe: ExecuteMatrixInto buffers too small (|cols|=%d K·P=%d |dst|=%d M·P=%d)",
-			len(cols), p.K*pTotal, len(dst), p.M*pTotal))
-	}
+	checkMatrixBuffers("ExecuteMatrixInto", p.K, p.M, len(dst), len(cols), pTotal)
 	p.executeMatrixCols(dst, cols, pTotal, 0, pTotal, s)
+}
+
+// checkMatrixBuffers panics when dst/cols cannot hold the [M, pTotal] /
+// [K, pTotal] matrices the named executor is about to touch. Shared by the
+// interpreted and compiled matrix paths so every panic names the function
+// actually called.
+func checkMatrixBuffers(fn string, k, m, dstLen, colsLen, pTotal int) {
+	if colsLen < k*pTotal || dstLen < m*pTotal {
+		panic(fmt.Sprintf("ipe: %s buffers too small (|cols|=%d K·P=%d |dst|=%d M·P=%d)",
+			fn, colsLen, k*pTotal, dstLen, m*pTotal))
+	}
 }
 
 // ExecuteMatrixIntoPar is ExecuteMatrixInto sharded over column ranges of
@@ -124,10 +132,7 @@ func (p *Program) ExecuteMatrixInto(dst, cols []float32, pTotal int, s *tensor.S
 // falls in the same block position and sees the same arithmetic as the
 // serial walk — results are bit-identical for any shard count.
 func (p *Program) ExecuteMatrixIntoPar(dst, cols []float32, pTotal int, par *tensor.Par) {
-	if len(cols) < p.K*pTotal || len(dst) < p.M*pTotal {
-		panic(fmt.Sprintf("ipe: ExecuteMatrixInto buffers too small (|cols|=%d K·P=%d |dst|=%d M·P=%d)",
-			len(cols), p.K*pTotal, len(dst), p.M*pTotal))
-	}
+	checkMatrixBuffers("ExecuteMatrixIntoPar", p.K, p.M, len(dst), len(cols), pTotal)
 	if par.Parallel() {
 		par.ForBlocks(pTotal, colBlock, func(shard, lo, hi int) {
 			p.executeMatrixCols(dst, cols, pTotal, lo, hi, par.Scratch(shard))

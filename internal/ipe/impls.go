@@ -27,12 +27,12 @@ type ConvVariant struct {
 // them are bit-identical for any shard count (documented on
 // ForwardIntoPar).
 func ConvVariants() []ConvVariant {
+	var s tensor.Scratch
 	return []ConvVariant{
 		{Name: "forward", F: func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par) {
 			copy(dst.Data(), l.Forward(in).Data())
 		}},
 		{Name: "forward-into", F: func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par) {
-			var s tensor.Scratch
 			l.ForwardInto(dst, in, &s)
 		}},
 		{Name: "forward-into-par", UsesPar: true, F: func(l *ConvLayer, dst, in *tensor.Tensor, par *tensor.Par) {
@@ -50,12 +50,12 @@ type DenseVariant struct {
 // DenseVariants enumerates the float execution paths of DenseLayer
 // (bit-identical: Forward delegates to ForwardInto).
 func DenseVariants() []DenseVariant {
+	var s tensor.Scratch
 	return []DenseVariant{
 		{Name: "forward", F: func(l *DenseLayer, dst, in *tensor.Tensor) {
 			copy(dst.Data(), l.Forward(in).Data())
 		}},
 		{Name: "forward-into", F: func(l *DenseLayer, dst, in *tensor.Tensor) {
-			var s tensor.Scratch
 			l.ForwardInto(dst, in, &s)
 		}},
 	}
@@ -68,13 +68,29 @@ type VectorVariant struct {
 	F    func(p *Program, x, y []float32)
 }
 
-// VectorVariants enumerates the single-vector float paths (bit-identical:
-// Execute delegates to ExecuteScratch).
+// VectorVariants enumerates the single-vector float paths: the interpreter
+// (Execute delegates to ExecuteScratch) and the compiled executors, which
+// must all be bit-identical. The scratch buffers are hoisted into the
+// variant closures and grown on demand, so repeated invocations measure
+// the kernel rather than the allocator.
 func VectorVariants() []VectorVariant {
+	var scratch []float32
+	var compiledScratch []float32
 	return []VectorVariant{
 		{Name: "execute", F: func(p *Program, x, y []float32) { p.Execute(x, y) }},
 		{Name: "execute-scratch", F: func(p *Program, x, y []float32) {
-			p.ExecuteScratch(x, y, make([]float32, p.NumSymbols()))
+			if cap(scratch) < p.NumSymbols() {
+				scratch = make([]float32, p.NumSymbols())
+			}
+			p.ExecuteScratch(x, y, scratch[:p.NumSymbols()])
+		}},
+		{Name: "compiled", F: func(p *Program, x, y []float32) { p.Compiled().Execute(x, y) }},
+		{Name: "compiled-scratch", F: func(p *Program, x, y []float32) {
+			c := p.Compiled()
+			if cap(compiledScratch) < c.ScratchLen() {
+				compiledScratch = make([]float32, c.ScratchLen())
+			}
+			c.ExecuteScratch(x, y, compiledScratch[:c.ScratchLen()])
 		}},
 	}
 }
@@ -87,20 +103,27 @@ type MatrixVariant struct {
 	F       func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par)
 }
 
-// MatrixVariants enumerates the column-blocked matrix paths. Shard
-// boundaries are colBlock-aligned, so all variants are bit-identical for
-// any shard count (documented on ExecuteMatrixIntoPar).
+// MatrixVariants enumerates the column-blocked matrix paths, interpreted
+// and compiled. Shard boundaries are colBlock-aligned, so all variants are
+// bit-identical for any shard count (documented on ExecuteMatrixIntoPar),
+// and the compiled executors replay the interpreter's arithmetic exactly.
 func MatrixVariants() []MatrixVariant {
+	var s, cs tensor.Scratch
 	return []MatrixVariant{
 		{Name: "matrix", F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
 			copy(dst, p.ExecuteMatrix(tensor.From(cols, p.K, pTotal)).Data())
 		}},
 		{Name: "matrix-into", F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
-			var s tensor.Scratch
 			p.ExecuteMatrixInto(dst, cols, pTotal, &s)
 		}},
 		{Name: "matrix-into-par", UsesPar: true, F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
 			p.ExecuteMatrixIntoPar(dst, cols, pTotal, par)
+		}},
+		{Name: "compiled-matrix-into", F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
+			p.Compiled().ExecuteMatrixInto(dst, cols, pTotal, &cs)
+		}},
+		{Name: "compiled-matrix-into-par", UsesPar: true, F: func(p *Program, dst, cols []float32, pTotal int, par *tensor.Par) {
+			p.Compiled().ExecuteMatrixIntoPar(dst, cols, pTotal, par)
 		}},
 	}
 }
@@ -111,14 +134,28 @@ type IntVariant struct {
 	F    func(p *Program, x []int32, y []int64)
 }
 
-// IntVariants enumerates the integer paths (exactly equal by int
-// associativity; the harness checks them bitwise against a straight-loop
-// reference).
+// IntVariants enumerates the integer paths, interpreted and compiled
+// (exactly equal by int associativity; the harness checks them bitwise
+// against a straight-loop reference). Scratch buffers are reused across
+// invocations.
 func IntVariants() []IntVariant {
+	var vals []int64
+	var compiledVals []int64
 	return []IntVariant{
 		{Name: "int", F: func(p *Program, x []int32, y []int64) { p.ExecuteInt(x, y) }},
 		{Name: "int-scratch", F: func(p *Program, x []int32, y []int64) {
-			p.ExecuteIntScratch(x, y, make([]int64, p.NumSymbols()))
+			if cap(vals) < p.NumSymbols() {
+				vals = make([]int64, p.NumSymbols())
+			}
+			p.ExecuteIntScratch(x, y, vals[:p.NumSymbols()])
+		}},
+		{Name: "compiled-int", F: func(p *Program, x []int32, y []int64) { p.Compiled().ExecuteInt(x, y) }},
+		{Name: "compiled-int-scratch", F: func(p *Program, x []int32, y []int64) {
+			c := p.Compiled()
+			if cap(compiledVals) < c.ScratchLen() {
+				compiledVals = make([]int64, c.ScratchLen())
+			}
+			c.ExecuteIntScratch(x, y, compiledVals[:c.ScratchLen()])
 		}},
 	}
 }

@@ -64,7 +64,7 @@ func (p *Program) ExecuteQuantized(x []float32, y []float32, xParams quant.Param
 	}
 	codes := QuantizeActivations(x[:p.K], xParams, xBits)
 	acc := make([]int64, p.M)
-	p.ExecuteInt(codes, acc)
+	p.Compiled().ExecuteInt(codes, acc)
 	for r := 0; r < p.M; r++ {
 		y[r] = float32(acc[r]) * xParams.Scale * p.rowScale(r)
 	}
@@ -85,18 +85,21 @@ func (l *ConvLayer) ForwardInt8(in *tensor.Tensor, xParams quant.Params) *tensor
 	for b := 0; b < n; b++ {
 		for g := 0; g < spec.Groups; g++ {
 			prog := l.Programs[g]
+			cp := prog.Compiled()
 			col := tensor.Im2colGroup(in, b, g, spec)
 			p := col.Dim(1)
 			cd := col.Data()
-			// Quantize the whole column matrix once.
+			// Quantize the whole column matrix once; the integer
+			// scratchpad is hoisted out of the per-column loop.
 			codes := QuantizeActivations(cd, xParams, 8)
 			xCol := make([]int32, prog.K)
 			acc := make([]int64, prog.M)
+			vals := make([]int64, cp.ScratchLen())
 			for c := 0; c < p; c++ {
 				for i := 0; i < prog.K; i++ {
 					xCol[i] = codes[i*p+c]
 				}
-				prog.ExecuteInt(xCol, acc)
+				cp.ExecuteIntScratch(xCol, acc, vals)
 				for oc := 0; oc < ocg; oc++ {
 					v := float32(acc[oc]) * xParams.Scale * prog.rowScale(oc)
 					if l.Bias != nil {
@@ -170,7 +173,7 @@ func (p *Program) ExecuteQuantizedAsym(x, y []float32, xParams quant.Params, xBi
 	}
 	codes := quant.QuantizeAsym(x[:p.K], xParams, xBits)
 	acc := make([]int64, p.M)
-	p.ExecuteInt(codes, acc)
+	p.Compiled().ExecuteInt(codes, acc)
 	z := int64(xParams.ZeroPoint)
 	for r := 0; r < p.M; r++ {
 		y[r] = float32(acc[r]-z*rowSums[r]) * xParams.Scale * p.rowScale(r)

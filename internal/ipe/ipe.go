@@ -142,6 +142,10 @@ type Program struct {
 	Config Config
 	// Depth[j] is the expansion depth of dictionary entry j.
 	Depth []int32
+
+	// compiled caches the lowered executable form (see compile.go),
+	// populated lazily by Compiled() under the package compile lock.
+	compiled *Compiled
 }
 
 // NumSymbols returns the total symbol count, raw inputs plus dictionary.

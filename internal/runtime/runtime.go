@@ -312,6 +312,11 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 		if err != nil {
 			return op, err
 		}
+		// Lower every program to its compiled serving form now, so the
+		// first Run never pays the lazy compilation inside the hot path.
+		for _, prog := range ipeL.Programs {
+			prog.Compiled()
+		}
 		op.ipeConv = ipeL
 		op.Candidates[ImplIPE] = opts.HW.Simulate(accel.IPEConvProfile(ipeL, wl.N, wl.H, wl.W))
 	}
@@ -377,6 +382,7 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 		if err != nil {
 			return op, err
 		}
+		ipeL.Program.Compiled() // lower the serving form at plan time
 		op.ipeDense = ipeL
 		ic := ipeL.Program.Cost()
 		op.Candidates[ImplIPE] = opts.HW.Simulate(
