@@ -13,7 +13,7 @@ FUZZ_TARGETS := \
 	./internal/conformance:FuzzConformanceProgram \
 	./internal/conformance:FuzzConformanceGraph
 
-.PHONY: verify build test race vet fuzz cover bench bench-smoke bench-json bench-json3
+.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-json bench-json3 bench-check
 
 verify: build test race vet
 
@@ -28,8 +28,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-vet:
+vet: staticcheck
 	$(GO) vet ./...
+
+# staticcheck when available (CI installs it; local runs without it just get
+# go vet). honnef.co/go/tools is the de-facto second linter tier for Go.
+# Pinned to the correctness (SA) and simplification (S) classes; the ST
+# style class is opinion, not signal, for this codebase.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck -checks 'SA*,S1*' ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Run every fuzz target for FUZZTIME each (override: make fuzz FUZZTIME=5s).
 fuzz:
@@ -57,6 +68,16 @@ bench-json:
 	$(GO) run ./cmd/inspire-perf > BENCH_2.json
 
 # Interpreted-vs-compiled executor measurements over the LeNet-5 and
-# SqueezeNet layer shapes.
+# SqueezeNet layer shapes, with per-layer runtime metrics attached (the
+# committed baseline cmd/benchdiff gates against).
 bench-json3:
-	$(GO) run ./cmd/inspire-perf -compiled > BENCH_3.json
+	$(GO) run ./cmd/inspire-perf -compiled -metrics > BENCH_3.json
+
+# Perf-regression gate: one quick interleaving of the BENCH_3 measurement
+# against the committed baseline, failing on a >25% geomean slowdown.
+# Cross-machine variance makes absolute ns incomparable, so CI runs this as
+# a non-blocking signal; locally it is most meaningful right after a fresh
+# `make bench-json3` on the same box.
+bench-check:
+	$(GO) run ./cmd/inspire-perf -compiled -metrics -quick > /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json

@@ -1,0 +1,132 @@
+// Command benchdiff is the CI perf-regression gate: it compares two
+// BENCH_3-format reports (a committed baseline and a fresh run) layer by
+// layer and fails when the geometric mean of the per-layer timing ratios
+// regresses beyond a threshold.
+//
+//	benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json
+//	benchdiff -baseline BENCH_3.json -current new.json -max-regression 0.10
+//
+// For each layer present in both reports, the compared timing is the
+// runtime metrics attachment's minimum layer latency when both sides carry
+// one (full-plan executor time under the recorder; the minimum is the
+// sample least disturbed by neighbors, and unlike the histogram quantiles
+// it is exact, not power-of-two bucketed), falling back to the
+// microbenchmark's compiled_ns_op otherwise. The gate is the geomean of
+// current/baseline ratios — single-layer noise cannot trip it, a broad
+// slowdown does. Exit status: 0 within threshold, 1 regression, 2 usage or
+// I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/benchfmt"
+	"repro/internal/report"
+)
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func load(path string) *benchfmt.CompiledReport {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+	var r benchfmt.CompiledReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fail(2, "%s: %v", path, err)
+	}
+	if len(r.Results) == 0 {
+		fail(2, "%s: no results (not a BENCH_3-format report?)", path)
+	}
+	return &r
+}
+
+// layerNs picks the timing to diff for one result: the metrics
+// attachment's minimum full-plan layer latency when present, else the
+// microbenchmark's compiled ns/op.
+func layerNs(p *benchfmt.CompiledPair) (ns int64, source string) {
+	if p.Metrics != nil && p.Metrics.Latency.MinNs > 0 {
+		return p.Metrics.Latency.MinNs, "metrics-min"
+	}
+	return p.CompiledNsOp, "compiled-ns"
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_3.json", "committed baseline report")
+	currentPath := flag.String("current", "", "freshly generated report to compare (required)")
+	maxRegression := flag.Float64("max-regression", 0.25,
+		"maximum allowed geomean slowdown, e.g. 0.25 = fail when current is >25% slower")
+	flag.Parse()
+	if *currentPath == "" {
+		fail(2, "-current is required")
+	}
+
+	base := load(*baselinePath)
+	cur := load(*currentPath)
+
+	baseByName := make(map[string]*benchfmt.CompiledPair, len(base.Results))
+	for i := range base.Results {
+		baseByName[base.Results[i].Name] = &base.Results[i]
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("benchdiff: %s vs %s", *currentPath, *baselinePath),
+		"layer", "source", "baseline ns", "current ns", "ratio")
+	var logSum float64
+	var n int
+	var missing []string
+	for i := range cur.Results {
+		c := &cur.Results[i]
+		b, ok := baseByName[c.Name]
+		if !ok {
+			missing = append(missing, c.Name+" (new)")
+			continue
+		}
+		delete(baseByName, c.Name)
+		bNs, bSrc := layerNs(b)
+		cNs, cSrc := layerNs(c)
+		if bSrc != cSrc {
+			// Never compare a full-plan p50 against a microbenchmark ns/op;
+			// fall back to the timing both reports carry.
+			bNs, cNs = b.CompiledNsOp, c.CompiledNsOp
+			bSrc = "compiled-ns"
+		}
+		if bNs <= 0 || cNs <= 0 {
+			missing = append(missing, c.Name+" (unusable timing)")
+			continue
+		}
+		ratio := float64(cNs) / float64(bNs)
+		logSum += math.Log(ratio)
+		n++
+		t.AddRow(c.Name, bSrc,
+			report.Count(bNs), report.Count(cNs), fmt.Sprintf("%.3f", ratio))
+	}
+	for name := range baseByName {
+		missing = append(missing, name+" (dropped)")
+	}
+
+	if n == 0 {
+		fail(2, "no comparable layers between %s and %s", *baselinePath, *currentPath)
+	}
+	geomean := math.Exp(logSum / float64(n))
+	t.Fprint(os.Stdout)
+	for _, m := range missing {
+		fmt.Printf("  skipped: %s\n", m)
+	}
+	limit := 1 + *maxRegression
+	fmt.Printf("\ngeomean ratio %.3f over %d layers (limit %.3f; >1 means current is slower)\n",
+		geomean, n, limit)
+	if geomean > limit {
+		fmt.Printf("FAIL: geomean regression %.1f%% exceeds %.1f%%\n",
+			(geomean-1)*100, *maxRegression*100)
+		os.Exit(1)
+	}
+	fmt.Println("OK: within regression budget")
+}

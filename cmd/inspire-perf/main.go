@@ -1,7 +1,9 @@
-// Command inspire-perf measures the serving-path wall time in two modes:
+// Command inspire-perf measures the serving-path wall time in three modes:
 //
-//	inspire-perf           > BENCH_2.json   # serial vs intra-op sharded
-//	inspire-perf -compiled > BENCH_3.json   # interpreted vs compiled IPE
+//	inspire-perf                    > BENCH_2.json   # serial vs intra-op sharded
+//	inspire-perf -compiled          > BENCH_3.json   # interpreted vs compiled IPE
+//	inspire-perf -compiled -metrics > BENCH_3.json   # ...plus per-layer metrics attachments
+//	inspire-perf -metrics                            # human-readable per-layer tables
 //
 // The default mode times each hot kernel and the end-to-end executor once
 // serial (parallelism 1) and once sharded over the process-wide worker
@@ -11,7 +13,15 @@
 // outputs are bit-identical by construction, so the report is purely a
 // speed and scratch-footprint comparison.
 //
-// Both reports record GOMAXPROCS/NumCPU: on a single-core runner the
+// With -metrics, -compiled additionally runs the full forced-IPE plans
+// under the runtime metrics recorder (after all timing loops, so nothing is
+// perturbed) and attaches each layer's latency/kernel snapshot to its
+// result plus the whole-process snapshot to the report; cmd/benchdiff and
+// the CI bench-check gate diff those attachments. -metrics alone prints the
+// per-layer breakdown as aligned tables under automatic kernel selection.
+// -quick drops the timing repetitions from three to one for CI smoke runs.
+//
+// Both JSON reports record GOMAXPROCS/NumCPU: on a single-core runner the
 // sharded numbers demonstrate bounded overhead (the pool runs shards
 // inline when no helper tokens are free), while multi-core runners show
 // the speedup.
@@ -21,39 +31,33 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	goruntime "runtime"
 	"testing"
 
+	"repro/internal/benchfmt"
 	"repro/internal/graph"
 	"repro/internal/ipe"
+	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
 )
 
-type pair struct {
-	Name       string  `json:"name"`
-	SerialNsOp int64   `json:"serial_ns_op"`
-	ParNsOp    int64   `json:"parallel_ns_op"`
-	Speedup    float64 `json:"speedup"`
-	Shards     int     `json:"shards"`
-}
+// timeReps is how many times each side of a measurement is repeated (the
+// minimum is kept); -quick lowers it to 1.
+var timeReps = 3
 
-type reportJSON struct {
-	Benchmark  string `json:"benchmark"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Note       string `json:"note"`
-	Results    []pair `json:"results"`
-}
+// meterRuns is how many times each model runs when collecting metrics
+// attachments or tables — enough for stable p50s without noticeable cost.
+const meterRuns = 5
 
-func bench(name string, shards int, serial, par func()) pair {
+func bench(name string, shards int, serial, par func()) benchfmt.Pair {
 	s := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			serial()
@@ -69,18 +73,50 @@ func bench(name string, shards int, serial, par func()) pair {
 	if pn > 0 {
 		sp = float64(sn) / float64(pn)
 	}
-	return pair{Name: name, SerialNsOp: sn, ParNsOp: pn, Speedup: sp, Shards: shards}
+	return benchfmt.Pair{Name: name, SerialNsOp: sn, ParNsOp: pn, Speedup: sp, Shards: shards}
 }
 
 func main() {
 	compiled := flag.Bool("compiled", false,
 		"emit BENCH_3: interpreted-vs-compiled IPE executor timings over the LeNet/SqueezeNet layers")
+	withMetrics := flag.Bool("metrics", false,
+		"with -compiled: attach per-layer runtime metrics to the JSON report; alone: print per-layer metrics tables")
+	quick := flag.Bool("quick", false,
+		"one timing repetition per measurement instead of three (CI bench-check mode)")
 	flag.Parse()
-	if *compiled {
-		benchCompiled()
-		return
+	if *quick {
+		timeReps = 1
 	}
-	benchSharding()
+	switch {
+	case *compiled:
+		benchCompiled(*withMetrics)
+	case *withMetrics:
+		if err := printMetrics(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		benchSharding()
+	}
+}
+
+// printMetrics runs the evaluation models under the metrics recorder with
+// automatic kernel selection and prints the per-layer, pool, and executor
+// breakdowns as aligned tables.
+func printMetrics(w io.Writer) error {
+	models := obs.EvalModels()
+	s, err := obs.Meter(models, runtime.Options{}, meterRuns)
+	if err != nil {
+		return err
+	}
+	for _, m := range models {
+		obs.LayerTable(m.Name, s, m.Name+"/").Fprint(w)
+		fmt.Fprintln(w)
+	}
+	obs.PoolTable(s).Fprint(w)
+	fmt.Fprintln(w)
+	obs.ExecTable(s).Fprint(w)
+	return nil
 }
 
 // benchSharding is the BENCH_2 report: serial vs intra-op sharded.
@@ -90,7 +126,7 @@ func benchSharding() {
 		shards = 2 // still exercise the sharded code path on one core
 	}
 	par := tensor.NewPar(parallel.Shared(), shards)
-	var results []pair
+	var results []benchfmt.Pair
 
 	// GEMM over the im2col row-block path.
 	const m, k, n = 192, 256, 192
@@ -171,7 +207,7 @@ func benchSharding() {
 		func() { plan.RunBatch(big, 0) },
 	))
 
-	out := reportJSON{
+	out := benchfmt.ShardingReport{
 		Benchmark:  "BENCH_2: intra-op worker-pool sharding (serial vs sharded, bit-identical outputs)",
 		GOOS:       goruntime.GOOS,
 		GOARCH:     goruntime.GOARCH,
@@ -190,41 +226,13 @@ func benchSharding() {
 	}
 }
 
-// compiledPair is one layer-program measurement of the BENCH_3 report.
-type compiledPair struct {
-	Name         string  `json:"name"`
-	Kind         string  `json:"kind"` // "matrix" (conv im2col) or "vector" (dense)
-	InterpNsOp   int64   `json:"interpreted_ns_op"`
-	CompiledNsOp int64   `json:"compiled_ns_op"`
-	Speedup      float64 `json:"speedup"`
-	K            int     `json:"k"`
-	M            int     `json:"m"`
-	Cols         int     `json:"cols"`
-	NumSymbols   int     `json:"num_symbols"`
-	NumSlots     int     `json:"num_slots"`
-	// Footprint is the compiled scratch residency relative to the
-	// interpreter: (K + NumSlots) / NumSymbols.
-	Footprint float64 `json:"scratch_footprint"`
-}
-
-type compiledReportJSON struct {
-	Benchmark            string         `json:"benchmark"`
-	GOOS                 string         `json:"goos"`
-	GOARCH               string         `json:"goarch"`
-	NumCPU               int            `json:"num_cpu"`
-	GOMAXPROCS           int            `json:"gomaxprocs"`
-	Note                 string         `json:"note"`
-	GeomeanMatrixSpeedup float64        `json:"geomean_matrix_speedup"`
-	GeomeanSpeedup       float64        `json:"geomean_speedup"`
-	Results              []compiledPair `json:"results"`
-}
-
 // timePair runs the two closures under testing.Benchmark and fills the
-// timing fields of a compiledPair built from prog's compiled form. The two
-// sides are interleaved three times and the minimum ns/op of each is kept —
-// the minimum is the run least disturbed by neighbors on a shared box, and
-// interleaving keeps slow machine phases from landing on one side only.
-func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled func()) compiledPair {
+// timing fields of a CompiledPair built from prog's compiled form. The two
+// sides are interleaved timeReps times and the minimum ns/op of each is
+// kept — the minimum is the run least disturbed by neighbors on a shared
+// box, and interleaving keeps slow machine phases from landing on one side
+// only.
+func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled func()) benchfmt.CompiledPair {
 	c := prog.Compiled()
 	run := func(f func()) int64 {
 		return testing.Benchmark(func(b *testing.B) {
@@ -234,7 +242,7 @@ func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled f
 		}).NsPerOp()
 	}
 	var in, cn int64
-	for rep := 0; rep < 3; rep++ {
+	for rep := 0; rep < timeReps; rep++ {
 		if i := run(interp); rep == 0 || i < in {
 			in = i
 		}
@@ -246,7 +254,7 @@ func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled f
 	if cn > 0 {
 		sp = float64(in) / float64(cn)
 	}
-	return compiledPair{
+	return benchfmt.CompiledPair{
 		Name: name, Kind: kind,
 		InterpNsOp: in, CompiledNsOp: cn, Speedup: sp,
 		K: prog.K, M: prog.M, Cols: cols,
@@ -258,8 +266,10 @@ func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled f
 // benchCompiled is the BENCH_3 report: for every conv/dense layer of the
 // LeNet-5 and SqueezeNet evaluation models (deduplicated by geometry), the
 // interpreted matrix/vector executor against the compiled one on the
-// layer's real serving shape.
-func benchCompiled() {
+// layer's real serving shape. With withMetrics, the full forced-IPE plans
+// then run under the metrics recorder and each result gains its layer's
+// runtime snapshot.
+func benchCompiled(withMetrics bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
 		os.Exit(1)
@@ -271,7 +281,7 @@ func benchCompiled() {
 		{"lenet5", nn.LeNet5(1, 9)},
 		{"squeezenet", nn.SqueezeNet(1, 32, 10, 11)},
 	}
-	var results []compiledPair
+	var results []benchfmt.CompiledPair
 	seen := make(map[string]bool)
 	rng := tensor.NewRNG(77)
 	for _, m := range models {
@@ -332,6 +342,25 @@ func benchCompiled() {
 		}
 	}
 
+	// Metrics attachments come after every timing loop so the recorder's
+	// (already tiny) overhead cannot perturb the measurements above.
+	var snap *metrics.Snapshot
+	if withMetrics {
+		s, err := obs.Meter(obs.EvalModels(),
+			runtime.Options{Force: runtime.ImplIPE, Bits: 4}, meterRuns)
+		if err != nil {
+			fail(err)
+		}
+		byName := make(map[string]*metrics.LayerSnapshot, len(s.Layers))
+		for i := range s.Layers {
+			byName[s.Layers[i].Name] = &s.Layers[i]
+		}
+		for i := range results {
+			results[i].Metrics = byName[results[i].Name]
+		}
+		snap = &s
+	}
+
 	geomean := func(kind string) float64 {
 		var sum float64
 		var n int
@@ -346,7 +375,7 @@ func benchCompiled() {
 		}
 		return math.Exp(sum / float64(n))
 	}
-	out := compiledReportJSON{
+	out := benchfmt.CompiledReport{
 		Benchmark:  "BENCH_3: interpreted vs compiled IPE execution (bit-identical outputs)",
 		GOOS:       goruntime.GOOS,
 		GOARCH:     goruntime.GOARCH,
@@ -355,10 +384,12 @@ func benchCompiled() {
 		Note: "speedup = interpreted_ns_op / compiled_ns_op on each layer's real serving shape " +
 			"(batch-1 im2col columns for convs, single vectors for dense); scratch_footprint = " +
 			"(K + NumSlots) / NumSymbols, the compiled working set relative to the interpreter's " +
-			"one-word-per-symbol scratchpad; layers deduplicated by geometry",
+			"one-word-per-symbol scratchpad; layers deduplicated by geometry; with -metrics, " +
+			"results carry per-layer runtime metrics from full forced-IPE plan runs",
 		GeomeanMatrixSpeedup: geomean("matrix"),
 		GeomeanSpeedup:       geomean(""),
 		Results:              results,
+		MetricsSnapshot:      snap,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,78 @@
+// Command inspire-stats runs the evaluation models (LeNet-5 and the 32x32
+// SqueezeNet) under the runtime metrics recorder and prints the
+// observability breakdown: one table per model with each layer's chosen
+// kernel and latency distribution, plus worker-pool and executor/arena
+// telemetry.
+//
+//	inspire-stats                  # auto-selected kernels, aligned tables
+//	inspire-stats -force ipe       # pin every conv/dense layer to one family
+//	inspire-stats -model lenet5    # single model
+//	inspire-stats -json            # machine-readable metrics.Snapshot dump
+//	inspire-stats -runs 20         # more samples per layer series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+func main() {
+	force := flag.String("force", "auto",
+		"implementation to pin every conv/dense layer to: auto, dense, csr, factorized, ipe, winograd")
+	bits := flag.Int("bits", 4, "weight quantization bit-width for encoded implementations")
+	runs := flag.Int("runs", 5, "inference runs per model (samples per layer series)")
+	model := flag.String("model", "", "restrict to one model: lenet5 or squeezenet (default both)")
+	jsonOut := flag.Bool("json", false, "dump the raw metrics.Snapshot as JSON instead of tables")
+	flag.Parse()
+
+	impl, ok := map[string]runtime.Impl{
+		"auto": runtime.ImplAuto, "dense": runtime.ImplDense,
+		"csr": runtime.ImplCSR, "factorized": runtime.ImplFactorized,
+		"ipe": runtime.ImplIPE, "winograd": runtime.ImplWinograd,
+	}[*force]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "inspire-stats: unknown -force %q\n", *force)
+		os.Exit(2)
+	}
+
+	models := obs.EvalModels()
+	if *model != "" {
+		kept := models[:0]
+		for _, m := range models {
+			if m.Name == *model {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "inspire-stats: unknown -model %q\n", *model)
+			os.Exit(2)
+		}
+		models = kept
+	}
+
+	s, err := obs.Meter(models, runtime.Options{Force: impl, Bits: *bits}, *runs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspire-stats: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		if err := s.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, m := range models {
+		obs.LayerTable(fmt.Sprintf("%s (force=%s, runs=%d)", m.Name, *force, *runs),
+			s, m.Name+"/").Fprint(os.Stdout)
+		fmt.Println()
+	}
+	obs.PoolTable(s).Fprint(os.Stdout)
+	fmt.Println()
+	obs.ExecTable(s).Fprint(os.Stdout)
+}

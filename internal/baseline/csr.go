@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/ipe"
+	"repro/internal/metrics"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -181,6 +182,7 @@ func (l *ConvCSR) Forward(in *tensor.Tensor) *tensor.Tensor {
 // destination, drawing im2col and result buffers from the caller's Scratch.
 // dst must not alias in.
 func (l *ConvCSR) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	metrics.Count(metrics.KernelCSR)
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
@@ -209,6 +211,7 @@ func (l *ConvCSR) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 // each parallel region and released after it joins. Results are
 // bit-identical to ForwardInto.
 func (l *ConvCSR) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	metrics.Count(metrics.KernelCSR)
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/ipe"
+	"repro/internal/metrics"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -234,6 +235,7 @@ func (l *ConvFactorized) Forward(in *tensor.Tensor) *tensor.Tensor {
 // destination, drawing work buffers from the caller's Scratch. dst must not
 // alias in.
 func (l *ConvFactorized) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	metrics.Count(metrics.KernelFactorized)
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
@@ -263,6 +265,7 @@ func (l *ConvFactorized) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) 
 // shard 0's scratch, taken before each parallel region and released after
 // it joins. Results are bit-identical to ForwardInto.
 func (l *ConvFactorized) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	metrics.Count(metrics.KernelFactorized)
 	spec := l.Spec
 	n, h, w := in.Dim(0), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ipe"
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -130,6 +131,7 @@ func (l *ConvWinograd) Forward(in *tensor.Tensor) *tensor.Tensor {
 // destination, drawing the transformed-tile buffer from the caller's
 // Scratch. dst must not alias in.
 func (l *ConvWinograd) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
+	metrics.Count(metrics.KernelWinograd)
 	spec := l.Spec
 	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
@@ -151,6 +153,7 @@ func (l *ConvWinograd) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 // Sharding over tile rows rather than output channels keeps each input
 // tile's transform computed once per shard instead of once per channel.
 func (l *ConvWinograd) ForwardIntoPar(dst, in *tensor.Tensor, par *tensor.Par) {
+	metrics.Count(metrics.KernelWinograd)
 	spec := l.Spec
 	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)

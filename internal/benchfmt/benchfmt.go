@@ -1,0 +1,67 @@
+// Package benchfmt defines the JSON schemas of the perf reports
+// (BENCH_2.json, BENCH_3.json) shared between the producer
+// (cmd/inspire-perf) and the consumers (cmd/benchdiff, CI's bench-check
+// regression gate). Field names are the wire contract: committed baselines
+// must keep parsing across PRs, so change them only additively.
+package benchfmt
+
+import "repro/internal/metrics"
+
+// Pair is one serial-vs-sharded measurement of the BENCH_2 report.
+type Pair struct {
+	Name       string  `json:"name"`
+	SerialNsOp int64   `json:"serial_ns_op"`
+	ParNsOp    int64   `json:"parallel_ns_op"`
+	Speedup    float64 `json:"speedup"`
+	Shards     int     `json:"shards"`
+}
+
+// ShardingReport is the BENCH_2 envelope.
+type ShardingReport struct {
+	Benchmark  string `json:"benchmark"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note"`
+	Results    []Pair `json:"results"`
+}
+
+// CompiledPair is one layer-program measurement of the BENCH_3 report.
+type CompiledPair struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"` // "matrix" (conv im2col) or "vector" (dense)
+	InterpNsOp   int64   `json:"interpreted_ns_op"`
+	CompiledNsOp int64   `json:"compiled_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	K            int     `json:"k"`
+	M            int     `json:"m"`
+	Cols         int     `json:"cols"`
+	NumSymbols   int     `json:"num_symbols"`
+	NumSlots     int     `json:"num_slots"`
+	// Footprint is the compiled scratch residency relative to the
+	// interpreter: (K + NumSlots) / NumSymbols.
+	Footprint float64 `json:"scratch_footprint"`
+	// Metrics is the layer's runtime-observability attachment (per-layer
+	// executor timing under the metrics recorder), present when the report
+	// was produced with -metrics. CI diffs it alongside the benchmark
+	// timings.
+	Metrics *metrics.LayerSnapshot `json:"metrics,omitempty"`
+}
+
+// CompiledReport is the BENCH_3 envelope.
+type CompiledReport struct {
+	Benchmark            string         `json:"benchmark"`
+	GOOS                 string         `json:"goos"`
+	GOARCH               string         `json:"goarch"`
+	NumCPU               int            `json:"num_cpu"`
+	GOMAXPROCS           int            `json:"gomaxprocs"`
+	Note                 string         `json:"note"`
+	GeomeanMatrixSpeedup float64        `json:"geomean_matrix_speedup"`
+	GeomeanSpeedup       float64        `json:"geomean_speedup"`
+	Results              []CompiledPair `json:"results"`
+	// MetricsSnapshot is the whole-process observability dump (every layer
+	// of the full plans, pool telemetry, executor stats), present when the
+	// report was produced with -metrics.
+	MetricsSnapshot *metrics.Snapshot `json:"metrics,omitempty"`
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -132,6 +133,9 @@ func EvalNodeIntoPar(dst *tensor.Tensor, n *Node, ins []*tensor.Tensor, par *ten
 	case OpDense:
 		tensor.DenseIntoPar(dst, ins[0], n.Param("weight"), n.Param("bias"), par)
 	default:
+		// Conv and dense count themselves inside their tensor kernels; the
+		// remaining operators are the generic walker's.
+		metrics.Count(metrics.KernelGeneric)
 		return EvalNodeInto(dst, n, ins)
 	}
 	if n.Attrs.FusedReLU {

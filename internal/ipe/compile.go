@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -304,6 +305,7 @@ func (c *Compiled) Execute(x, y []float32) {
 // ScratchLen() floats (NumSlots compacted words past the K inputs, vs the
 // interpreter's NumSymbols()).
 func (c *Compiled) ExecuteScratch(x, y, scratch []float32) {
+	metrics.Count(metrics.KernelIPECompiled)
 	if len(x) < c.K || len(y) < c.M {
 		panic(fmt.Sprintf("ipe: compiled ExecuteScratch buffers too small (|x|=%d K=%d |y|=%d M=%d)",
 			len(x), c.K, len(y), c.M))
@@ -415,6 +417,7 @@ func (c *Compiled) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
 // comes from the caller's Scratch. Bit-identical to
 // Program.ExecuteMatrixInto.
 func (c *Compiled) ExecuteMatrixInto(dst, cols []float32, pTotal int, s *tensor.Scratch) {
+	metrics.Count(metrics.KernelIPECompiled)
 	checkMatrixBuffers("compiled ExecuteMatrixInto", c.K, c.M, len(dst), len(cols), pTotal)
 	c.executeMatrixCols(dst, cols, pTotal, 0, pTotal, s)
 }
@@ -424,6 +427,7 @@ func (c *Compiled) ExecuteMatrixInto(dst, cols []float32, pTotal int, s *tensor.
 // Program.ExecuteMatrixIntoPar for the bit-identity argument; it holds
 // unchanged here).
 func (c *Compiled) ExecuteMatrixIntoPar(dst, cols []float32, pTotal int, par *tensor.Par) {
+	metrics.Count(metrics.KernelIPECompiled)
 	checkMatrixBuffers("compiled ExecuteMatrixIntoPar", c.K, c.M, len(dst), len(cols), pTotal)
 	if par.Parallel() {
 		par.ForBlocks(pTotal, colBlock, func(shard, lo, hi int) {

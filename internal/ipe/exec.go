@@ -3,6 +3,7 @@ package ipe
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/tensor"
 )
 
@@ -17,6 +18,7 @@ func (p *Program) Execute(x, y []float32) {
 // ExecuteScratch is Execute with a caller-provided scratch buffer of at
 // least NumSymbols() floats, for allocation-free steady-state inference.
 func (p *Program) ExecuteScratch(x, y, scratch []float32) {
+	metrics.Count(metrics.KernelIPEInterp)
 	if len(x) < p.K || len(y) < p.M {
 		panic(fmt.Sprintf("ipe: Execute buffers too small (|x|=%d K=%d |y|=%d M=%d)",
 			len(x), p.K, len(y), p.M))
@@ -110,6 +112,7 @@ func (p *Program) ExecuteMatrix(cols *tensor.Tensor) *tensor.Tensor {
 // warmed steady-state execution performs no heap allocations. The scratch
 // watermark is restored before returning.
 func (p *Program) ExecuteMatrixInto(dst, cols []float32, pTotal int, s *tensor.Scratch) {
+	metrics.Count(metrics.KernelIPEInterp)
 	checkMatrixBuffers("ExecuteMatrixInto", p.K, p.M, len(dst), len(cols), pTotal)
 	p.executeMatrixCols(dst, cols, pTotal, 0, pTotal, s)
 }
@@ -132,6 +135,7 @@ func checkMatrixBuffers(fn string, k, m, dstLen, colsLen, pTotal int) {
 // falls in the same block position and sees the same arithmetic as the
 // serial walk — results are bit-identical for any shard count.
 func (p *Program) ExecuteMatrixIntoPar(dst, cols []float32, pTotal int, par *tensor.Par) {
+	metrics.Count(metrics.KernelIPEInterp)
 	checkMatrixBuffers("ExecuteMatrixIntoPar", p.K, p.M, len(dst), len(cols), pTotal)
 	if par.Parallel() {
 		par.ForBlocks(pTotal, colBlock, func(shard, lo, hi int) {

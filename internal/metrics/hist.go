@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket b holds
+// observations in [2^b, 2^(b+1)) nanoseconds; 40 buckets cover up to ~18
+// minutes, far beyond any layer or run latency.
+const histBuckets = 40
+
+// Hist is an allocation-free, concurrency-safe latency histogram with
+// power-of-two nanosecond buckets. The zero value is ready to use. Observe
+// performs four atomic adds plus up to two CAS loops (min/max) — cheap
+// enough for per-layer recording, and only ever reached when metrics are
+// enabled.
+type Hist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // 0 means unset
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe logs one latency sample in nanoseconds. Samples below 1 ns are
+// clamped to 1 so the min sentinel (0 = unset) and the log2 bucketing stay
+// well defined.
+func (h *Hist) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns)) - 1 // floor(log2(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	atomicMinNZ(&h.min, ns)
+	atomicMax(&h.max, ns)
+	h.buckets[b].Add(1)
+}
+
+// HistSnapshot is a point-in-time view of a Hist. Quantiles are
+// upper-bound estimates from the power-of-two buckets (within 2x of the
+// true value), clamped to the observed min/max.
+type HistSnapshot struct {
+	Count  int64 `json:"count"`
+	SumNs  int64 `json:"sum_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	MinNs  int64 `json:"min_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+}
+
+// Snapshot captures the histogram. Concurrent Observes may land between
+// field reads; totals stay self-consistent enough for reporting (this is
+// telemetry, not accounting).
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	s.MinNs = h.min.Load()
+	s.MaxNs = h.max.Load()
+	if s.Count > 0 {
+		s.MeanNs = s.SumNs / s.Count
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50Ns = quantile(counts[:], total, 0.50, s.MinNs, s.MaxNs)
+	s.P90Ns = quantile(counts[:], total, 0.90, s.MinNs, s.MaxNs)
+	s.P99Ns = quantile(counts[:], total, 0.99, s.MinNs, s.MaxNs)
+	return s
+}
+
+// quantile walks the bucket counts to the q-th observation and returns that
+// bucket's upper bound, clamped to [min, max].
+func quantile(counts []int64, total int64, q float64, min, max int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for b, c := range counts {
+		seen += c
+		if seen > rank {
+			v := int64(1) << (uint(b) + 1) // bucket upper bound
+			if max > 0 && v > max {
+				v = max
+			}
+			if v < min {
+				v = min
+			}
+			return v
+		}
+	}
+	return max
+}

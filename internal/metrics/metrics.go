@@ -1,0 +1,254 @@
+// Package metrics is the runtime observability layer: allocation-free,
+// atomic counters and latency histograms threaded through the serving hot
+// paths (executor steps, kernel dispatch sites, the intra-op worker pool,
+// arena and scratch management).
+//
+// Recording is off by default and costs one atomic pointer load plus a nil
+// check per site (~1 ns) when disabled — cheap enough to leave the hooks in
+// every hot path permanently. Enable() installs a process-wide Recorder;
+// sites obtain it with Get() (or hold handles resolved at build time) and
+// every recording method is safe on a nil receiver, so call sites never
+// branch themselves.
+//
+// The package depends only on the standard library so every layer of the
+// system (parallel, tensor, ipe, baseline, graph, runtime) can hook into it
+// without import cycles.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel identifies the kernel family that executed a piece of work. The
+// values cover every conv/dense execution strategy the runtime dispatches
+// plus the generic walker for the remaining operators.
+type Kernel uint8
+
+const (
+	// KernelUnknown tags work recorded without a kernel attribution.
+	KernelUnknown Kernel = iota
+	// KernelDirect is the direct (no-lowering) convolution loop nest.
+	KernelDirect
+	// KernelIm2col is the im2col lowering pass.
+	KernelIm2col
+	// KernelGEMM is the dense GEMM / fully-connected kernel.
+	KernelGEMM
+	// KernelWinograd is the Winograd F(2x2,3x3) dense convolution.
+	KernelWinograd
+	// KernelCSR is compressed-sparse-row execution over quantized weights.
+	KernelCSR
+	// KernelFactorized is UCNN-style value-factorized execution.
+	KernelFactorized
+	// KernelIPEInterp is the interpreted index-pair-encoded executor.
+	KernelIPEInterp
+	// KernelIPECompiled is the compiled (flat-stream) IPE executor.
+	KernelIPECompiled
+	// KernelGeneric is the generic graph walker (pool, relu, softmax, ...).
+	KernelGeneric
+
+	// KernelCount is the number of kernel tags (array sizing).
+	KernelCount
+)
+
+var kernelNames = [KernelCount]string{
+	"unknown", "direct", "im2col", "gemm", "winograd",
+	"csr", "factorized", "ipe-interpreted", "ipe-compiled", "generic",
+}
+
+// String returns the kernel's short name (stable: used in JSON dumps).
+func (k Kernel) String() string {
+	if int(k) < len(kernelNames) {
+		return kernelNames[k]
+	}
+	return "invalid"
+}
+
+// Recorder aggregates every metric family. All recording methods are safe
+// for concurrent use and for nil receivers (a nil Recorder records
+// nothing), so sites can hold a possibly-nil handle and call through it
+// unconditionally.
+type Recorder struct {
+	// Pool is the intra-op worker-pool telemetry (wired into
+	// parallel.Pool.SetStats by runtime.EnableMetrics).
+	Pool PoolStats
+	// Exec is the executor/arena telemetry.
+	Exec ExecStats
+
+	kernels [KernelCount]atomic.Int64
+
+	mu      sync.Mutex
+	byName  map[string]*LayerStats
+	ordered []*LayerStats
+}
+
+// New builds an empty Recorder. Most callers use Enable instead, which
+// installs the recorder process-wide.
+func New() *Recorder {
+	return &Recorder{byName: make(map[string]*LayerStats)}
+}
+
+// global holds the process-wide recorder; nil means recording is disabled.
+var global atomic.Pointer[Recorder]
+
+// Enable installs a fresh process-wide Recorder and returns it. Sites that
+// resolved Get() == nil earlier (e.g. executors built before Enable) keep
+// recording nothing; enable metrics before building plans and executors.
+func Enable() *Recorder {
+	r := New()
+	global.Store(r)
+	return r
+}
+
+// Disable removes the process-wide recorder; subsequent Get calls return
+// nil and every site falls back to its ~1 ns disabled path.
+func Disable() { global.Store(nil) }
+
+// Get returns the process-wide recorder, or nil when recording is
+// disabled. The cost is one atomic pointer load.
+func Get() *Recorder { return global.Load() }
+
+// Count bumps the process-wide dispatch counter for kernel k. This is the
+// package-level convenience used by kernel entry points; it is the
+// disabled-path benchmark's subject: one atomic load, one branch.
+func Count(k Kernel) {
+	if r := global.Load(); r != nil {
+		r.CountKernel(k)
+	}
+}
+
+// CountKernel bumps the recorder's dispatch counter for kernel k.
+func (r *Recorder) CountKernel(k Kernel) {
+	if r == nil {
+		return
+	}
+	r.kernels[k].Add(1)
+}
+
+// Layer returns the named per-layer series, creating it on first use.
+// Registration takes a mutex (cold path: executor construction); the
+// returned handle records with atomics only. Executors of the same plan
+// share series by name, so pooled executors aggregate into one row.
+func (r *Recorder) Layer(name string) *LayerStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.byName[name]; ok {
+		return l
+	}
+	l := &LayerStats{name: name}
+	r.byName[name] = l
+	r.ordered = append(r.ordered, l)
+	return l
+}
+
+// LayerStats aggregates one layer's executions: dispatch counts per kernel
+// family, a latency histogram, and batch-size extents. All methods are
+// atomic and nil-safe.
+type LayerStats struct {
+	name     string
+	kernels  [KernelCount]atomic.Int64
+	lat      Hist
+	batchSum atomic.Int64
+	batchMax atomic.Int64
+}
+
+// Name returns the layer's registration name.
+func (l *LayerStats) Name() string {
+	if l == nil {
+		return ""
+	}
+	return l.name
+}
+
+// Record logs one execution of the layer: the kernel that ran it, the
+// wall-clock nanoseconds it took, and the batch size it processed.
+func (l *LayerStats) Record(k Kernel, ns int64, batch int) {
+	if l == nil {
+		return
+	}
+	l.kernels[k].Add(1)
+	l.lat.Observe(ns)
+	l.batchSum.Add(int64(batch))
+	atomicMax(&l.batchMax, int64(batch))
+}
+
+// PoolStats is the worker-pool telemetry: how many shard blocks were
+// submitted, where they ran (helper goroutine, inline because no token was
+// free, or on the caller as the always-local final block), how long spawned
+// helpers waited to be scheduled, and the token occupancy observed at each
+// parallel-region entry.
+type PoolStats struct {
+	HelperRuns      atomic.Int64 // blocks run on a pool helper goroutine
+	InlineFallbacks atomic.Int64 // blocks run inline: no token free
+	CallerRuns      atomic.Int64 // final blocks run by the caller (by design)
+	SpawnWaitNs     atomic.Int64 // total ns between spawn and helper start
+	OccupancySum    atomic.Int64 // sum of tokens-in-use samples
+	OccupancyCount  atomic.Int64 // number of occupancy samples (For entries)
+	OccupancyMax    atomic.Int64 // max tokens-in-use observed
+}
+
+// EnterRegion records one parallel-region entry with the number of pool
+// tokens currently in use.
+func (p *PoolStats) EnterRegion(tokensInUse int) {
+	if p == nil {
+		return
+	}
+	p.OccupancySum.Add(int64(tokensInUse))
+	p.OccupancyCount.Add(1)
+	atomicMax(&p.OccupancyMax, int64(tokensInUse))
+}
+
+// ExecStats is the executor/arena telemetry.
+type ExecStats struct {
+	Acquires   atomic.Int64 // Plan.AcquireExecutor calls
+	PoolReuses atomic.Int64 // acquires served by a pooled (warm) executor
+	Builds     atomic.Int64 // executors constructed (arena allocations)
+	Releases   atomic.Int64 // Plan.ReleaseExecutor calls
+	Runs       atomic.Int64 // Executor.Run calls
+	RunErrors  atomic.Int64 // Runs that returned an error
+	Batches    atomic.Int64 // Plan.RunBatch calls
+	BatchItems atomic.Int64 // chunks dispatched across all RunBatch calls
+
+	ArenaBytesResident atomic.Int64 // bytes of activation arenas built (resident in the pool)
+	ScratchHighWater   atomic.Int64 // max per-shard scratch floats observed
+
+	RunNs Hist // end-to-end Run latency
+}
+
+// UpdateScratchHighWater raises the scratch high-water mark to floats if it
+// exceeds the recorded maximum.
+func (e *ExecStats) UpdateScratchHighWater(floats int) {
+	if e == nil {
+		return
+	}
+	atomicMax(&e.ScratchHighWater, int64(floats))
+}
+
+// atomicMax raises *a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMinNZ lowers *a to v, treating 0 as "unset".
+func atomicMinNZ(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur != 0 && cur <= v {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package metrics
+
+// raceEnabled reports whether the race detector instruments this build;
+// it multiplies every atomic access by ~100x, so timing contracts are
+// asserted only in uninstrumented builds.
+const raceEnabled = true

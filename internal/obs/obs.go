@@ -1,0 +1,136 @@
+// Package obs runs the evaluation models under the runtime metrics
+// recorder and renders the resulting snapshots as report tables. It is the
+// shared half of the observability CLIs: cmd/inspire-stats is a thin flag
+// wrapper around it, and cmd/inspire-perf uses it for the -metrics mode and
+// for the per-layer attachments of the BENCH_3 report.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// Model is one evaluation network plus a filled serving input.
+type Model struct {
+	Name  string
+	Graph *graph.Graph
+	Input *tensor.Tensor
+}
+
+// EvalModels builds the two evaluation networks (LeNet-5 and the 32x32
+// SqueezeNet) with deterministic weights and inputs, matching the
+// geometries the BENCH_3 report measures.
+func EvalModels() []Model {
+	rng := tensor.NewRNG(99)
+	lin := tensor.New(1, 1, 28, 28)
+	tensor.FillGaussian(lin, rng, 1)
+	sin := tensor.New(1, 3, 32, 32)
+	tensor.FillGaussian(sin, rng, 1)
+	return []Model{
+		{Name: "lenet5", Graph: nn.LeNet5(1, 9), Input: lin},
+		{Name: "squeezenet", Graph: nn.SqueezeNet(1, 32, 10, 11), Input: sin},
+	}
+}
+
+// Meter compiles each model with the given options, runs it `runs` times at
+// the default parallelism plus once forced to two intra-op shards, all
+// under a fresh process-wide metrics recorder (layer series prefixed
+// "model/"), and returns the recorder's snapshot. The extra sharded run
+// exercises the worker pool even on a single-core box (the pool keeps one
+// helper token there), so the pool telemetry is never trivially empty; it
+// adds one sample to every layer series. The recorder is uninstalled again
+// before returning, so metering never leaks overhead into the caller's
+// subsequent work.
+func Meter(models []Model, opts runtime.Options, runs int) (metrics.Snapshot, error) {
+	rec := runtime.EnableMetrics()
+	defer runtime.DisableMetrics()
+	for _, m := range models {
+		plan, err := runtime.Compile(m.Graph, opts)
+		if err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("obs: compile %s: %w", m.Name, err)
+		}
+		plan.MetricsPrefix = m.Name + "/"
+		for i := 0; i < runs; i++ {
+			if _, err := plan.Run(m.Input); err != nil {
+				return metrics.Snapshot{}, fmt.Errorf("obs: run %s: %w", m.Name, err)
+			}
+		}
+		e := plan.AcquireExecutor()
+		e.SetParallelism(2)
+		_, err = e.Run(m.Input)
+		plan.ReleaseExecutor(e)
+		if err != nil {
+			return metrics.Snapshot{}, fmt.Errorf("obs: sharded run %s: %w", m.Name, err)
+		}
+	}
+	return rec.Snapshot(), nil
+}
+
+// LayerTable renders the snapshot's layer series whose names start with
+// prefix (all of them when prefix is empty) as one row per layer: the
+// kernel family that executed it, run count, and the latency distribution.
+func LayerTable(title string, s metrics.Snapshot, prefix string) *report.Table {
+	t := report.NewTable(title,
+		"layer", "kernel", "runs", "p50 ns", "mean ns", "max ns", "mean batch")
+	for _, l := range s.Layers {
+		if prefix != "" && !strings.HasPrefix(l.Name, prefix) {
+			continue
+		}
+		t.AddRow(
+			strings.TrimPrefix(l.Name, prefix),
+			l.Kernel,
+			report.Count(l.Latency.Count),
+			report.Count(l.Latency.P50Ns),
+			report.Count(l.Latency.MeanNs),
+			report.Count(l.Latency.MaxNs),
+			report.Num(l.MeanBatch),
+		)
+	}
+	return t
+}
+
+// PoolTable renders the worker-pool telemetry: where parallel-for blocks
+// ran (helper goroutine, inline fallback, calling goroutine), helper spawn
+// latency, and token occupancy at region entry.
+func PoolTable(s metrics.Snapshot) *report.Table {
+	t := report.NewTable("worker pool",
+		"submitted", "helper", "inline", "caller", "mean spawn wait ns",
+		"mean occupancy", "max occupancy")
+	p := s.Pool
+	t.AddRow(
+		report.Count(p.Submitted),
+		report.Count(p.HelperRuns),
+		report.Count(p.InlineFallbacks),
+		report.Count(p.CallerRuns),
+		report.Count(p.MeanSpawnWaitNs),
+		report.Num(p.MeanOccupancy),
+		report.Count(p.MaxOccupancy),
+	)
+	return t
+}
+
+// ExecTable renders the executor/arena telemetry: pooling behavior, run
+// counts, arena residency, and the kernel-scratch high-water mark.
+func ExecTable(s metrics.Snapshot) *report.Table {
+	t := report.NewTable("executors",
+		"acquires", "reuses", "builds", "runs", "mean run ns",
+		"arena resident", "scratch high water")
+	e := s.Exec
+	t.AddRow(
+		report.Count(e.Acquires),
+		report.Count(e.PoolReuses),
+		report.Count(e.Builds),
+		report.Count(e.Runs),
+		report.Count(e.RunLatency.MeanNs),
+		report.Bytes(e.ArenaBytesResident),
+		report.Bytes(e.ScratchHighWater*4),
+	)
+	return t
+}

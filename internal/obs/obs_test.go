@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+)
+
+// TestMeterAndTables runs the LeNet-5 half of the evaluation set under the
+// recorder and checks the snapshot reaches every table renderer: one row
+// per layer with the forced kernel, populated pool telemetry (Meter's
+// sharded run guarantees it even on one core), and executor stats.
+func TestMeterAndTables(t *testing.T) {
+	models := EvalModels()[:1] // lenet5 only; squeezenet compile is slow
+	const runs = 2
+	s, err := Meter(models, runtime.Options{Force: runtime.ImplIPE, Bits: 4}, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Get() != nil {
+		t.Error("Meter leaked an installed recorder")
+	}
+	if len(s.Layers) == 0 {
+		t.Fatal("no layer series metered")
+	}
+	for _, l := range s.Layers {
+		if !strings.HasPrefix(l.Name, "lenet5/") {
+			t.Errorf("layer %q missing model prefix", l.Name)
+		}
+		if l.Latency.Count != runs+1 { // +1 for the sharded run
+			t.Errorf("%s: %d samples, want %d", l.Name, l.Latency.Count, runs+1)
+		}
+	}
+	if s.Pool.Submitted == 0 {
+		t.Error("pool telemetry empty despite the forced sharded run")
+	}
+	if s.Exec.Runs != int64(runs+1) || s.Exec.Builds == 0 {
+		t.Errorf("exec stats runs=%d builds=%d", s.Exec.Runs, s.Exec.Builds)
+	}
+
+	lt := LayerTable("lenet5", s, "lenet5/")
+	if lt.NumRows() != len(s.Layers) {
+		t.Errorf("layer table rows = %d, want %d", lt.NumRows(), len(s.Layers))
+	}
+	var sb strings.Builder
+	lt.Fprint(&sb)
+	if !strings.Contains(sb.String(), "ipe-compiled") {
+		t.Errorf("layer table missing forced kernel column:\n%s", sb.String())
+	}
+	if PoolTable(s).NumRows() != 1 || ExecTable(s).NumRows() != 1 {
+		t.Error("pool/exec tables must render exactly one row")
+	}
+}

@@ -12,12 +12,21 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Pool is a bounded source of helper goroutines. The zero value is not
 // usable; construct with NewPool or use Shared.
 type Pool struct {
 	tokens chan struct{}
+	// stats, when set, receives the pool's telemetry: where each shard
+	// block ran, helper scheduling latency, and token occupancy. Held in an
+	// atomic pointer so SetStats is safe against in-flight For calls; when
+	// nil (the default) every For pays one atomic load and a branch.
+	stats atomic.Pointer[metrics.PoolStats]
 }
 
 // NewPool builds a pool with the given number of helper tokens. size <= 0
@@ -68,6 +77,8 @@ func (p *Pool) For(shards, n int, fn func(shard, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
+	st := p.stats.Load()
+	st.EnterRegion(len(p.tokens))
 	var wg sync.WaitGroup
 	for s := 0; s < shards-1; s++ {
 		lo, hi := s*n/shards, (s+1)*n/shards
@@ -77,20 +88,40 @@ func (p *Pool) For(shards, n int, fn func(shard, lo, hi int)) {
 		select {
 		case p.tokens <- struct{}{}:
 			wg.Add(1)
+			var spawned time.Time
+			if st != nil {
+				spawned = time.Now()
+			}
 			go func(s, lo, hi int) {
 				defer func() {
 					<-p.tokens
 					wg.Done()
 				}()
+				if st != nil {
+					st.SpawnWaitNs.Add(time.Since(spawned).Nanoseconds())
+					st.HelperRuns.Add(1)
+				}
 				fn(s, lo, hi)
 			}(s, lo, hi)
 		default:
+			if st != nil {
+				st.InlineFallbacks.Add(1)
+			}
 			fn(s, lo, hi)
 		}
+	}
+	if st != nil {
+		st.CallerRuns.Add(1)
 	}
 	fn(shards-1, (shards-1)*n/shards, n)
 	wg.Wait()
 }
+
+// SetStats attaches (or with nil detaches) a telemetry sink to the pool.
+// Safe to call concurrently with For; in-flight regions finish against the
+// sink they loaded at entry. runtime.EnableMetrics wires the shared pool
+// into the process-wide recorder through this.
+func (p *Pool) SetStats(st *metrics.PoolStats) { p.stats.Store(st) }
 
 // ForBlocks is For with block boundaries aligned to multiples of quantum,
 // for kernels whose inner loops are themselves blocked (e.g. the IPE

@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -27,6 +29,10 @@ type Executor struct {
 	slots []*tensor.Tensor // node ID -> value (arena view, const, or input)
 	steps []execStep
 	par   *tensor.Par
+	// rec is the metrics recorder resolved once at construction (nil when
+	// metrics were disabled then). Per-step layer handles live on the
+	// steps; rec gates the whole-run accounting.
+	rec *metrics.Recorder
 }
 
 // execStep is one operator of the precompiled schedule: the compiled op,
@@ -39,6 +45,12 @@ type execStep struct {
 	insIDs []int
 	ins    []*tensor.Tensor
 	out    *tensor.Tensor
+	// stats is the step's per-layer metrics series (nil when metrics were
+	// disabled at executor construction); kernel is the dispatch tag
+	// recorded with each timing sample. Executors of one plan share series
+	// by layer name, so pooled executors aggregate into the same rows.
+	stats  *metrics.LayerStats
+	kernel metrics.Kernel
 }
 
 // NewExecutor builds an execution context for the plan: it allocates the
@@ -51,6 +63,11 @@ func (p *Plan) NewExecutor() *Executor {
 		plan:  p,
 		arena: make([]float32, p.ArenaBytes/4),
 		par:   tensor.NewPar(parallel.Shared(), 0), // default GOMAXPROCS shards
+		rec:   metrics.Get(),
+	}
+	if e.rec != nil {
+		e.rec.Exec.Builds.Add(1)
+		e.rec.Exec.ArenaBytesResident.Add(p.ArenaBytes)
 	}
 	maxID := 0
 	order := p.Graph.Topo()
@@ -80,12 +97,52 @@ func (p *Plan) NewExecutor() *Executor {
 			insIDs: make([]int, len(n.Inputs)),
 			ins:    make([]*tensor.Tensor, len(n.Inputs)),
 		}
+		if e.rec != nil {
+			st.stats = e.rec.Layer(p.MetricsPrefix + n.Name)
+			st.kernel = stepKernel(op)
+		}
 		for j, in := range n.Inputs {
 			st.insIDs[j] = in.ID
 		}
 		e.steps[i] = st
 	}
 	return e
+}
+
+// stepKernel maps a compiled operator to the kernel-family tag its
+// dispatch in runStep will execute (the per-layer "kernel chosen" column).
+func stepKernel(op *CompiledOp) metrics.Kernel {
+	switch op.Node.Kind {
+	case graph.OpConv:
+		switch op.Impl {
+		case ImplDense:
+			return metrics.KernelDirect
+		case ImplWinograd:
+			return metrics.KernelWinograd
+		case ImplCSR:
+			return metrics.KernelCSR
+		case ImplFactorized:
+			return metrics.KernelFactorized
+		case ImplIPE:
+			// Plans lower every program at compile time, so the serving
+			// path always runs the compiled form.
+			return metrics.KernelIPECompiled
+		}
+	case graph.OpDense:
+		switch op.Impl {
+		case ImplDense:
+			return metrics.KernelGEMM
+		case ImplCSR:
+			return metrics.KernelCSR
+		case ImplFactorized:
+			return metrics.KernelFactorized
+		case ImplIPE:
+			return metrics.KernelIPECompiled
+		}
+	default:
+		return metrics.KernelGeneric
+	}
+	return metrics.KernelUnknown
 }
 
 // Plan returns the plan this executor runs.
@@ -114,6 +171,11 @@ func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 	if !input.Shape().Equal(g.In.OutShape) {
 		return nil, fmt.Errorf("runtime: input shape %v != declared %v", input.Shape(), g.In.OutShape)
 	}
+	var runStart time.Time
+	if e.rec != nil {
+		runStart = time.Now()
+	}
+	batch := input.Dim(0)
 	e.slots[g.In.ID] = input
 	for i := range e.steps {
 		st := &e.steps[i]
@@ -121,12 +183,29 @@ func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 			st.ins[j] = e.slots[id]
 		}
 		e.par.Reset()
-		if err := e.runStep(st); err != nil {
+		var err error
+		if st.stats != nil {
+			t0 := time.Now()
+			err = e.runStep(st)
+			st.stats.Record(st.kernel, time.Since(t0).Nanoseconds(), batch)
+		} else {
+			err = e.runStep(st)
+		}
+		if err != nil {
 			e.dropInputRefs()
+			if e.rec != nil {
+				e.rec.Exec.Runs.Add(1)
+				e.rec.Exec.RunErrors.Add(1)
+			}
 			return nil, fmt.Errorf("runtime: executing %s: %w", st.node, err)
 		}
 	}
 	e.dropInputRefs()
+	if e.rec != nil {
+		e.rec.Exec.Runs.Add(1)
+		e.rec.Exec.RunNs.Observe(time.Since(runStart).Nanoseconds())
+		e.rec.Exec.UpdateScratchHighWater(e.par.HighWater())
+	}
 	return e.slots[g.Out.ID], nil
 }
 
@@ -177,6 +256,7 @@ func (e *Executor) runStep(st *execStep) error {
 // matvec is dispatched on the concrete type (no method values) to keep the
 // steady state allocation-free.
 func denseCSRInto(dst, in *tensor.Tensor, c *baseline.CSR, bias *tensor.Tensor) {
+	metrics.Count(metrics.KernelCSR)
 	n, k := in.Dim(0), in.Dim(1)
 	od := dst.Data()
 	for b := 0; b < n; b++ {
@@ -188,6 +268,7 @@ func denseCSRInto(dst, in *tensor.Tensor, c *baseline.CSR, bias *tensor.Tensor) 
 // denseFactorizedInto computes the value-factorized dense layer row by row
 // into dst.
 func denseFactorizedInto(dst, in *tensor.Tensor, f *baseline.Factorized, bias *tensor.Tensor) {
+	metrics.Count(metrics.KernelFactorized)
 	n, k := in.Dim(0), in.Dim(1)
 	od := dst.Data()
 	for b := 0; b < n; b++ {
@@ -212,7 +293,14 @@ func addBiasRows(od []float32, bias *tensor.Tensor, n, m int) {
 // one if the pool is empty. Return it with ReleaseExecutor when done. This
 // is the serving-path API: compile once, pool executors, run many.
 func (p *Plan) AcquireExecutor() *Executor {
+	rec := metrics.Get()
+	if rec != nil {
+		rec.Exec.Acquires.Add(1)
+	}
 	if v := p.executors.Get(); v != nil {
+		if rec != nil {
+			rec.Exec.PoolReuses.Add(1)
+		}
 		return v.(*Executor)
 	}
 	return p.NewExecutor()
@@ -225,6 +313,9 @@ func (p *Plan) AcquireExecutor() *Executor {
 func (p *Plan) ReleaseExecutor(e *Executor) {
 	if e == nil || e.plan != p {
 		return
+	}
+	if rec := metrics.Get(); rec != nil {
+		rec.Exec.Releases.Add(1)
 	}
 	e.SetParallelism(0)
 	p.executors.Put(e)

@@ -1,0 +1,31 @@
+package runtime
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// EnableMetrics installs a fresh process-wide metrics recorder and wires
+// the shared worker pool's telemetry into it, returning the recorder for
+// snapshotting. Call it before compiling plans and building executors:
+// executors resolve the recorder once at construction, so instances built
+// while metrics were disabled keep recording nothing.
+//
+// This lives in runtime rather than metrics because the metrics package is
+// a leaf (parallel imports it for the PoolStats type); only a layer that
+// sees both sides can connect the shared pool to the recorder.
+func EnableMetrics() *metrics.Recorder {
+	r := metrics.Enable()
+	parallel.Shared().SetStats(&r.Pool)
+	return r
+}
+
+// DisableMetrics removes the process-wide recorder and detaches the shared
+// pool's telemetry sink, restoring every site's ~1 ns disabled path.
+// Executors built while metrics were enabled keep their layer handles and
+// continue recording into the orphaned recorder; rebuild them (or let the
+// plan pool cycle) to silence those sites too.
+func DisableMetrics() {
+	metrics.Disable()
+	parallel.Shared().SetStats(nil)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/graph"
 	"repro/internal/ipe"
+	"repro/internal/metrics"
 	"repro/internal/quant"
 	"repro/internal/report"
 	"repro/internal/schedule"
@@ -141,6 +142,12 @@ type Plan struct {
 	// Total is the modeled whole-network execution.
 	Total accel.Result
 	Opts  Options
+
+	// MetricsPrefix is prepended to layer names when executors register
+	// their metrics series (e.g. "lenet5/" so two plans in one process
+	// don't merge same-named layers). Set it before the first
+	// NewExecutor/AcquireExecutor call; empty is fine for a single plan.
+	MetricsPrefix string
 
 	// executors recycles Executors across Run/RunBatch calls so steady-state
 	// inference reuses warm arenas instead of reallocating them.
@@ -504,6 +511,10 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 		return nil, fmt.Errorf("runtime: batch %d is not a multiple of the compiled batch %d", total, compiled)
 	}
 	chunks := total / compiled
+	if rec := metrics.Get(); rec != nil {
+		rec.Exec.Batches.Add(1)
+		rec.Exec.BatchItems.Add(int64(chunks))
+	}
 	perChunk := input.NumElements() / chunks
 	if workers <= 0 {
 		workers = goruntime.GOMAXPROCS(0)

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/metrics"
 )
 
 // ConvSpec describes a 2-D convolution. Weights are stored OIHW
@@ -91,6 +93,7 @@ func Conv2DInto(dst, in, weight, bias *Tensor, spec ConvSpec) {
 // unit owns a disjoint output plane and its accumulation loop is untouched,
 // so the result is bit-identical to the serial kernel for any shard count.
 func Conv2DIntoPar(dst, in, weight, bias *Tensor, spec ConvSpec, par *Par) {
+	metrics.Count(metrics.KernelDirect)
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		panic(err)
@@ -198,6 +201,7 @@ func Im2colGroupInto(dst []float32, in *Tensor, b, g int, spec ConvSpec) {
 // are pure disjoint copies, so the lowering is identical for any shard
 // count.
 func Im2colGroupIntoPar(dst []float32, in *Tensor, b, g int, spec ConvSpec, par *Par) {
+	metrics.Count(metrics.KernelIm2col)
 	spec = spec.Normalize()
 	h, w := in.Dim(2), in.Dim(3)
 	oh, ow := spec.OutDims(h, w)
@@ -515,6 +519,7 @@ func DenseInto(dst, in, weight, bias *Tensor) {
 // Each output element's dot product and bias add are untouched, so the
 // result is bit-identical to the serial kernel for any shard count.
 func DenseIntoPar(dst, in, weight, bias *Tensor, par *Par) {
+	metrics.Count(metrics.KernelGEMM)
 	n, k := in.Dim(0), in.Dim(1)
 	m, k2 := weight.Dim(0), weight.Dim(1)
 	if k != k2 {

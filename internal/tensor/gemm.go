@@ -1,12 +1,17 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Gemm computes C = A·B for row-major matrices, where A is m×k, B is k×n and
 // C is m×n. C is overwritten. It is the reference (naive, cache-blocked)
 // matrix multiply used by the im2col convolution path and by the fully
 // connected layers.
 func Gemm(a, b, c []float32, m, k, n int) {
+	metrics.Count(metrics.KernelGEMM)
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("tensor: Gemm buffer too small for m=%d k=%d n=%d", m, k, n))
 	}
@@ -18,6 +23,7 @@ func Gemm(a, b, c []float32, m, k, n int) {
 // and each element's k-accumulation order does not depend on the row
 // blocking, so the result is bit-identical to Gemm for any shard count.
 func GemmPar(a, b, c []float32, m, k, n int, par *Par) {
+	metrics.Count(metrics.KernelGEMM)
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("tensor: GemmPar buffer too small for m=%d k=%d n=%d", m, k, n))
 	}

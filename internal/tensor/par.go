@@ -60,6 +60,21 @@ func (p *Par) Parallel() bool { return p != nil && p.shards > 1 }
 // Scratch returns shard i's private scratch arena.
 func (p *Par) Scratch(i int) *Scratch { return p.scratch[i] }
 
+// HighWater returns the largest per-shard scratch peak (in floats) across
+// the context's shards — the executor's per-run scratch telemetry.
+func (p *Par) HighWater() int {
+	if p == nil {
+		return 0
+	}
+	hw := 0
+	for _, s := range p.scratch {
+		if s.HighWater() > hw {
+			hw = s.HighWater()
+		}
+	}
+	return hw
+}
+
 // Reset rewinds every per-shard scratch, invalidating outstanding slices.
 // Backing stores are kept, so warmed execution stays allocation-free.
 func (p *Par) Reset() {

@@ -12,6 +12,7 @@ package tensor
 type Scratch struct {
 	buf  []float32
 	used int
+	peak int
 }
 
 // Take returns a slice of n floats from the arena. The contents are
@@ -28,6 +29,9 @@ func (s *Scratch) Take(n int) []float32 {
 	}
 	out := s.buf[s.used : s.used+n : s.used+n]
 	s.used += n
+	if s.used > s.peak {
+		s.peak = s.used
+	}
 	return out
 }
 
@@ -46,3 +50,8 @@ func (s *Scratch) Reset() { s.used = 0 }
 // Cap returns the capacity of the backing store in floats — the high-water
 // footprint the scratch has grown to.
 func (s *Scratch) Cap() int { return len(s.buf) }
+
+// HighWater returns the peak number of floats simultaneously taken over the
+// scratch's lifetime — the true working-set mark, unlike Cap, which
+// includes doubling-growth slack. Release/Reset do not lower it.
+func (s *Scratch) HighWater() int { return s.peak }
