@@ -8,6 +8,7 @@ FUZZ_TARGETS := \
 	./internal/ipe:FuzzEncodeRoundTrip \
 	./internal/graph:FuzzGraphDeserialize \
 	./internal/runtime:FuzzPlanner \
+	./internal/sched:FuzzTilePlanner \
 	./internal/conformance:FuzzConformanceConv \
 	./internal/conformance:FuzzConformanceDense \
 	./internal/conformance:FuzzConformanceProgram \
@@ -68,10 +69,11 @@ bench-json:
 	$(GO) run ./cmd/inspire-perf > BENCH_2.json
 
 # Interpreted-vs-compiled executor measurements over the LeNet-5 and
-# SqueezeNet layer shapes, with per-layer runtime metrics attached (the
-# committed baseline cmd/benchdiff gates against).
+# SqueezeNet layer shapes, with per-layer runtime metrics and the
+# fused-vs-unfused graph-scheduler comparison attached (the committed
+# baseline cmd/benchdiff gates against).
 bench-json3:
-	$(GO) run ./cmd/inspire-perf -compiled -metrics > BENCH_3.json
+	$(GO) run ./cmd/inspire-perf -compiled -metrics -sched > BENCH_3.json
 
 # Perf-regression gate: one quick interleaving of the BENCH_3 measurement
 # against the committed baseline, failing on a >25% geomean slowdown.
@@ -79,5 +81,5 @@ bench-json3:
 # a non-blocking signal; locally it is most meaningful right after a fresh
 # `make bench-json3` on the same box.
 bench-check:
-	$(GO) run ./cmd/inspire-perf -compiled -metrics -quick > /tmp/bench_current.json
+	$(GO) run ./cmd/inspire-perf -compiled -metrics -sched -quick > /tmp/bench_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json

@@ -1,9 +1,11 @@
 // Command inspire-perf measures the serving-path wall time in three modes:
 //
-//	inspire-perf                    > BENCH_2.json   # serial vs intra-op sharded
-//	inspire-perf -compiled          > BENCH_3.json   # interpreted vs compiled IPE
-//	inspire-perf -compiled -metrics > BENCH_3.json   # ...plus per-layer metrics attachments
-//	inspire-perf -metrics                            # human-readable per-layer tables
+//	inspire-perf                           > BENCH_2.json  # serial vs intra-op sharded
+//	inspire-perf -compiled                 > BENCH_3.json  # interpreted vs compiled IPE
+//	inspire-perf -compiled -metrics -sched > BENCH_3.json  # ...plus per-layer metrics and
+//	                                                       # the fused-scheduler comparison
+//	inspire-perf -metrics                                  # human-readable per-layer tables
+//	inspire-perf -metrics -fuse                            # ...with per-region scheduler tables
 //
 // The default mode times each hot kernel and the end-to-end executor once
 // serial (parallelism 1) and once sharded over the process-wide worker
@@ -17,9 +19,14 @@
 // under the runtime metrics recorder (after all timing loops, so nothing is
 // perturbed) and attaches each layer's latency/kernel snapshot to its
 // result plus the whole-process snapshot to the report; cmd/benchdiff and
-// the CI bench-check gate diff those attachments. -metrics alone prints the
-// per-layer breakdown as aligned tables under automatic kernel selection.
-// -quick drops the timing repetitions from three to one for CI smoke runs.
+// the CI bench-check gate diff those attachments. With -sched, -compiled
+// also attaches the graph-scheduler section: each evaluation model compiled
+// fused and unfused (forced IPE, bit-identical outputs), their interleaved
+// end-to-end wall times, arena high-water marks, modeled DRAM traffic, and
+// the fused plan's per-region decisions. -metrics alone prints the
+// per-layer breakdown as aligned tables under automatic kernel selection
+// (-fuse adds the per-region scheduler tables). -quick drops the timing
+// repetitions from three to one for CI smoke runs.
 //
 // Both JSON reports record GOMAXPROCS/NumCPU: on a single-core runner the
 // sharded numbers demonstrate bounded overhead (the pool runs shards
@@ -81,6 +88,10 @@ func main() {
 		"emit BENCH_3: interpreted-vs-compiled IPE executor timings over the LeNet/SqueezeNet layers")
 	withMetrics := flag.Bool("metrics", false,
 		"with -compiled: attach per-layer runtime metrics to the JSON report; alone: print per-layer metrics tables")
+	withSched := flag.Bool("sched", false,
+		"with -compiled: attach the fused-vs-unfused graph-scheduler comparison to the JSON report")
+	fuse := flag.Bool("fuse", false,
+		"with -metrics alone: compile with the graph scheduler and print per-region tables")
 	quick := flag.Bool("quick", false,
 		"one timing repetition per measurement instead of three (CI bench-check mode)")
 	flag.Parse()
@@ -89,9 +100,9 @@ func main() {
 	}
 	switch {
 	case *compiled:
-		benchCompiled(*withMetrics)
+		benchCompiled(*withMetrics, *withSched)
 	case *withMetrics:
-		if err := printMetrics(os.Stdout); err != nil {
+		if err := printMetrics(os.Stdout, *fuse); err != nil {
 			fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
 			os.Exit(1)
 		}
@@ -102,16 +113,21 @@ func main() {
 
 // printMetrics runs the evaluation models under the metrics recorder with
 // automatic kernel selection and prints the per-layer, pool, and executor
-// breakdowns as aligned tables.
-func printMetrics(w io.Writer) error {
+// breakdowns as aligned tables. With fuse, the plans compile under the
+// graph scheduler and each model also gets its per-region table.
+func printMetrics(w io.Writer, fuse bool) error {
 	models := obs.EvalModels()
-	s, err := obs.Meter(models, runtime.Options{}, meterRuns)
+	s, err := obs.Meter(models, runtime.Options{Fuse: fuse}, meterRuns)
 	if err != nil {
 		return err
 	}
 	for _, m := range models {
 		obs.LayerTable(m.Name, s, m.Name+"/").Fprint(w)
 		fmt.Fprintln(w)
+		if fuse {
+			obs.RegionTable(m.Name+" fused regions", s, m.Name+"/").Fprint(w)
+			fmt.Fprintln(w)
+		}
 	}
 	obs.PoolTable(s).Fprint(w)
 	fmt.Fprintln(w)
@@ -263,13 +279,120 @@ func timePair(name, kind string, prog *ipe.Program, cols int, interp, compiled f
 	}
 }
 
+// benchSched measures the graph-level scheduler on the evaluation models:
+// each compiles twice under forced IPE — once unfused, once with
+// Options.Fuse — and the two executors' end-to-end wall times are
+// interleaved timeReps times, keeping the minimum of each side. Outputs
+// are bit-identical by construction (the conformance sweep enforces it),
+// so the section compares memory and latency only: arena high-water marks,
+// modeled whole-network DRAM traffic, and the fused plan's per-region
+// decisions.
+func benchSched() (*benchfmt.SchedulerReport, error) {
+	var results []benchfmt.SchedPair
+	for _, m := range obs.EvalModels() {
+		gUnfused, gFused := m.Graph, m.Graph.Clone()
+		opts := runtime.Options{Force: runtime.ImplIPE, Bits: 4}
+		unfused, err := runtime.Compile(gUnfused, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile unfused: %w", m.Name, err)
+		}
+		opts.Fuse = true
+		fused, err := runtime.Compile(gFused, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile fused: %w", m.Name, err)
+		}
+
+		eu, ef := unfused.NewExecutor(), fused.NewExecutor()
+		eu.SetParallelism(0)
+		ef.SetParallelism(0)
+		if _, err := eu.Run(m.Input); err != nil { // warm both arenas
+			return nil, fmt.Errorf("%s: unfused run: %w", m.Name, err)
+		}
+		if _, err := ef.Run(m.Input); err != nil {
+			return nil, fmt.Errorf("%s: fused run: %w", m.Name, err)
+		}
+		time := func(e *runtime.Executor) int64 {
+			return testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.Run(m.Input)
+				}
+			}).NsPerOp()
+		}
+		var un, fn int64
+		for rep := 0; rep < timeReps; rep++ {
+			if u := time(eu); rep == 0 || u < un {
+				un = u
+			}
+			if f := time(ef); rep == 0 || f < fn {
+				fn = f
+			}
+		}
+
+		pair := benchfmt.SchedPair{
+			Name:              m.Name,
+			UnfusedNsOp:       un,
+			FusedNsOp:         fn,
+			UnfusedArenaBytes: unfused.ArenaBytes,
+			FusedArenaBytes:   fused.ArenaBytes,
+			UnfusedDRAMBytes:  unfused.Total.DRAMBytes,
+			FusedDRAMBytes:    fused.Total.DRAMBytes,
+		}
+		if fn > 0 {
+			pair.Speedup = float64(un) / float64(fn)
+		}
+		if unfused.ArenaBytes > 0 {
+			pair.ArenaReduction = 1 - float64(fused.ArenaBytes)/float64(unfused.ArenaBytes)
+		}
+		if unfused.Total.DRAMBytes > 0 {
+			pair.DRAMReduction = 1 - float64(fused.Total.DRAMBytes)/float64(unfused.Total.DRAMBytes)
+		}
+		for _, rp := range fused.Regions {
+			sr := benchfmt.SchedRegion{
+				Name:             rp.Name,
+				Mode:             rp.Mode(),
+				RetainedBytes:    rp.RetainedBytes,
+				SpilledBytes:     rp.SpilledBytes,
+				FusedDRAMBytes:   rp.FusedDRAMBytes,
+				UnfusedDRAMBytes: rp.UnfusedDRAMBytes,
+			}
+			if rp.Tiled {
+				sr.TilesPerImage = rp.Tile.TilesPerImage
+			}
+			pair.Regions = append(pair.Regions, sr)
+		}
+		results = append(results, pair)
+	}
+
+	var sum float64
+	var n int
+	for _, r := range results {
+		if r.Speedup > 0 {
+			sum += math.Log(r.Speedup)
+			n++
+		}
+	}
+	rep := &benchfmt.SchedulerReport{
+		Note: "fused (Options.Fuse) vs unfused plans under forced IPE, bit-identical outputs; " +
+			"speedup = unfused_ns_op / fused_ns_op end-to-end at default parallelism; " +
+			"arena bytes are each plan's activation high-water mark; dram bytes are the " +
+			"modeled whole-network off-chip traffic; regions list the fused plan's " +
+			"per-region scheduler decisions",
+		Results: results,
+	}
+	if n > 0 {
+		rep.GeomeanSpeedup = math.Exp(sum / float64(n))
+	}
+	return rep, nil
+}
+
 // benchCompiled is the BENCH_3 report: for every conv/dense layer of the
 // LeNet-5 and SqueezeNet evaluation models (deduplicated by geometry), the
 // interpreted matrix/vector executor against the compiled one on the
 // layer's real serving shape. With withMetrics, the full forced-IPE plans
 // then run under the metrics recorder and each result gains its layer's
-// runtime snapshot.
-func benchCompiled(withMetrics bool) {
+// runtime snapshot; with withSched, the report also carries the
+// fused-vs-unfused graph-scheduler section.
+func benchCompiled(withMetrics, withSched bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
 		os.Exit(1)
@@ -342,6 +465,17 @@ func benchCompiled(withMetrics bool) {
 		}
 	}
 
+	// The scheduler section times its own executor runs, so it comes
+	// before the metrics attachments but after the kernel timing loops.
+	var schedRep *benchfmt.SchedulerReport
+	if withSched {
+		sr, err := benchSched()
+		if err != nil {
+			fail(err)
+		}
+		schedRep = sr
+	}
+
 	// Metrics attachments come after every timing loop so the recorder's
 	// (already tiny) overhead cannot perturb the measurements above.
 	var snap *metrics.Snapshot
@@ -390,6 +524,7 @@ func benchCompiled(withMetrics bool) {
 		GeomeanSpeedup:       geomean(""),
 		Results:              results,
 		MetricsSnapshot:      snap,
+		Scheduler:            schedRep,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -64,4 +64,57 @@ type CompiledReport struct {
 	// of the full plans, pool telemetry, executor stats), present when the
 	// report was produced with -metrics.
 	MetricsSnapshot *metrics.Snapshot `json:"metrics,omitempty"`
+	// Scheduler is the fused-vs-unfused graph-scheduler comparison,
+	// present when the report was produced with -sched.
+	Scheduler *SchedulerReport `json:"scheduler,omitempty"`
+}
+
+// SchedRegion is one fused region's scheduler decision as recorded in the
+// BENCH_3 scheduler section: the execution mode the planner chose and its
+// memory model for the region.
+type SchedRegion struct {
+	Name string `json:"name"`
+	// Mode is "tiled", "elementwise", or "spilled".
+	Mode string `json:"mode"`
+	// TilesPerImage is the tile-grid size for one batch element (tiled
+	// mode only).
+	TilesPerImage int `json:"tiles_per_image,omitempty"`
+	// RetainedBytes are intermediate bytes kept on-chip (never allocated
+	// in the arena); SpilledBytes are intermediates of regions the planner
+	// declined to fuse.
+	RetainedBytes int64 `json:"retained_bytes"`
+	SpilledBytes  int64 `json:"spilled_bytes,omitempty"`
+	// FusedDRAMBytes / UnfusedDRAMBytes are the modeled off-chip traffic
+	// for the region's members with and without fusion.
+	FusedDRAMBytes   int64 `json:"fused_dram_bytes"`
+	UnfusedDRAMBytes int64 `json:"unfused_dram_bytes"`
+}
+
+// SchedPair is one model's fused-vs-unfused comparison: end-to-end
+// executor wall time (bit-identical outputs by construction), the arena
+// high-water mark of each plan, the modeled whole-network DRAM traffic,
+// and the per-region scheduler decisions of the fused plan.
+type SchedPair struct {
+	Name        string  `json:"name"`
+	UnfusedNsOp int64   `json:"unfused_ns_op"`
+	FusedNsOp   int64   `json:"fused_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	// Arena high-water marks in bytes; ArenaReduction = 1 - fused/unfused.
+	UnfusedArenaBytes int64   `json:"unfused_arena_bytes"`
+	FusedArenaBytes   int64   `json:"fused_arena_bytes"`
+	ArenaReduction    float64 `json:"arena_reduction"`
+	// Modeled whole-network DRAM traffic; DRAMReduction = 1 - fused/unfused.
+	UnfusedDRAMBytes int64         `json:"unfused_dram_bytes"`
+	FusedDRAMBytes   int64         `json:"fused_dram_bytes"`
+	DRAMReduction    float64       `json:"dram_reduction"`
+	Regions          []SchedRegion `json:"regions,omitempty"`
+}
+
+// SchedulerReport is the BENCH_3 scheduler section: the graph-level
+// scheduler (operator fusion + memory-aware tiling) measured against the
+// unfused plans on the evaluation models.
+type SchedulerReport struct {
+	Note           string      `json:"note"`
+	GeomeanSpeedup float64     `json:"geomean_speedup"`
+	Results        []SchedPair `json:"results"`
 }

@@ -1,0 +1,120 @@
+package graph
+
+// Region fusion: the graph-level analysis behind the scheduler's fused
+// subgraphs. A Region is a producer/consumer chain that the runtime can
+// execute as one arena-resident pass — a Conv or Dense head, any number of
+// interior single-consumer ReLU nodes, and (for conv heads) at most one
+// trailing max/avg pool. Interior tensors of a fused region never
+// materialize as whole-layer activations: elementwise chains write through
+// to the tail's buffer, and pooled chains stream conv-output tiles through
+// scratch into the pool (see internal/sched and DESIGN.md §10).
+//
+// The pass is an analysis, not a rewrite: it annotates Graph.Regions and
+// leaves the node structure untouched, so every non-fusing consumer of the
+// IR (reference executor, serializer, per-op lowering) is unaffected and
+// the runtime remains free to ignore regions (Options.Fuse off) or spill
+// individual regions whose working sets cannot be tiled.
+
+// Region is one fusible chain: Head, then Relus in chain order, then the
+// optional Pool. Tail is the last node of the chain (== Pool when Pool is
+// non-nil); only the tail's output is observable outside the region.
+type Region struct {
+	// Head is the Conv or Dense node that starts the chain.
+	Head *Node
+	// Relus are the explicit interior ReLU nodes, in chain order. The head
+	// may additionally carry Attrs.FusedReLU from the relu-fuse pass.
+	Relus []*Node
+	// Pool is the trailing OpMaxPool/OpAvgPool node, or nil for an
+	// elementwise (conv→relu / dense→relu) chain.
+	Pool *Node
+	// Tail is the final node of the chain.
+	Tail *Node
+}
+
+// Nodes returns the region's members in execution order (head first).
+func (r Region) Nodes() []*Node {
+	out := make([]*Node, 0, len(r.Relus)+2)
+	out = append(out, r.Head)
+	out = append(out, r.Relus...)
+	if r.Pool != nil {
+		out = append(out, r.Pool)
+	}
+	return out
+}
+
+// Interior returns the members whose outputs are invisible outside the
+// region — every node except the tail.
+func (r Region) Interior() []*Node {
+	ns := r.Nodes()
+	return ns[:len(ns)-1]
+}
+
+// Name labels the region for metrics and reports: "head+tail", or just the
+// head's name for two-node chains ending in a fused elementwise op.
+func (r Region) Name() string {
+	if r.Tail == r.Head {
+		return r.Head.Name
+	}
+	return r.Head.Name + "+" + r.Tail.Name
+}
+
+// FuseRegions finds every fusible chain of g. A chain grows from a Conv or
+// Dense head while the current node has exactly one reachable consumer and
+// is not the graph output; it absorbs ReLU nodes, and for conv heads a
+// single max/avg pool, stopping right after the pool. Chains with no
+// interior node (a bare conv or dense) are not regions. Every node belongs
+// to at most one region: heads are Conv/Dense, interiors are single-
+// consumer ReLU/pool nodes on a unique producer chain.
+func FuseRegions(g *Graph) []Region {
+	cons := g.Consumers()
+	var regions []Region
+	for _, n := range g.Topo() {
+		if n.Kind != OpConv && n.Kind != OpDense {
+			continue
+		}
+		r := Region{Head: n, Tail: n}
+		cur := n
+		for {
+			if cur == g.Out {
+				break // output must materialize; cannot absorb its consumer
+			}
+			cs := cons[cur]
+			if len(cs) != 1 {
+				break
+			}
+			next := cs[0]
+			switch next.Kind {
+			case OpReLU:
+				r.Relus = append(r.Relus, next)
+				r.Tail = next
+				cur = next
+				continue
+			case OpMaxPool, OpAvgPool:
+				if n.Kind != OpConv {
+					break // dense outputs are rank 2; pools never follow
+				}
+				r.Pool = next
+				r.Tail = next
+			}
+			break
+		}
+		if r.Tail != r.Head {
+			regions = append(regions, r)
+		}
+	}
+	return regions
+}
+
+// RegionFusion is the annotation pass wrapping FuseRegions. It always
+// reports changed=false: it rewrites nothing, so running it can never
+// perturb the Optimize fixpoint.
+type RegionFusion struct{}
+
+// Name implements Pass.
+func (RegionFusion) Name() string { return "region-fusion" }
+
+// Run implements Pass.
+func (RegionFusion) Run(g *Graph) (bool, error) {
+	g.Regions = FuseRegions(g)
+	return false, nil
+}

@@ -23,6 +23,20 @@ type LayerSnapshot struct {
 	MaxBatch  int64   `json:"max_batch"`
 }
 
+// RegionSnapshot is the point-in-time view of one fused region: the
+// scheduler's decision (mode, retained/spilled bytes, modeled DRAM traffic
+// fused vs unfused) and the live run/tile counters.
+type RegionSnapshot struct {
+	Name             string `json:"name"`
+	Mode             string `json:"mode"`
+	Runs             int64  `json:"runs"`
+	Tiles            int64  `json:"tiles"`
+	RetainedBytes    int64  `json:"retained_bytes"`
+	SpilledBytes     int64  `json:"spilled_bytes"`
+	FusedDRAMBytes   int64  `json:"fused_dram_bytes"`
+	UnfusedDRAMBytes int64  `json:"unfused_dram_bytes"`
+}
+
 // PoolSnapshot is the point-in-time view of the worker-pool telemetry.
 type PoolSnapshot struct {
 	Submitted       int64   `json:"submitted"`
@@ -46,6 +60,7 @@ type ExecSnapshot struct {
 	Batches            int64        `json:"batches"`
 	BatchItems         int64        `json:"batch_items"`
 	ArenaBytesResident int64        `json:"arena_bytes_resident"`
+	ArenaBytesPeak     int64        `json:"arena_bytes_peak"`
 	ScratchHighWater   int64        `json:"scratch_high_water_floats"`
 	RunLatency         HistSnapshot `json:"run_latency"`
 }
@@ -53,7 +68,10 @@ type ExecSnapshot struct {
 // Snapshot is a self-consistent-enough point-in-time view of a Recorder,
 // serializable to JSON (the expvar-style dump).
 type Snapshot struct {
-	Layers  []LayerSnapshot  `json:"layers"`
+	Layers []LayerSnapshot `json:"layers"`
+	// Regions lists the fused-region series (empty unless a plan compiled
+	// with the graph scheduler registered executors).
+	Regions []RegionSnapshot `json:"regions,omitempty"`
 	Kernels map[string]int64 `json:"kernel_dispatches"`
 	Pool    PoolSnapshot     `json:"pool"`
 	Exec    ExecSnapshot     `json:"executor"`
@@ -70,10 +88,14 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	layers := append([]*LayerStats(nil), r.ordered...)
+	regions := append([]*RegionStats(nil), r.regOrdered...)
 	r.mu.Unlock()
 	s.Layers = make([]LayerSnapshot, 0, len(layers))
 	for _, l := range layers {
 		s.Layers = append(s.Layers, l.Snapshot())
+	}
+	for _, reg := range regions {
+		s.Regions = append(s.Regions, reg.Snapshot())
 	}
 	s.Kernels = make(map[string]int64)
 	for k := Kernel(0); k < KernelCount; k++ {
@@ -120,6 +142,25 @@ func (l *LayerStats) Snapshot() LayerSnapshot {
 	return s
 }
 
+// Snapshot captures one region series.
+func (s *RegionStats) Snapshot() RegionSnapshot {
+	var snap RegionSnapshot
+	if s == nil {
+		return snap
+	}
+	snap.Name = s.name
+	if m := s.mode.Load(); m != nil {
+		snap.Mode = *m
+	}
+	snap.Runs = s.Runs.Load()
+	snap.Tiles = s.Tiles.Load()
+	snap.RetainedBytes = s.retainedBytes.Load()
+	snap.SpilledBytes = s.spilledBytes.Load()
+	snap.FusedDRAMBytes = s.fusedDRAMBytes.Load()
+	snap.UnfusedDRAMBytes = s.unfusedDRAMBytes.Load()
+	return snap
+}
+
 // Snapshot captures the pool telemetry.
 func (p *PoolStats) Snapshot() PoolSnapshot {
 	var s PoolSnapshot
@@ -156,6 +197,7 @@ func (e *ExecStats) Snapshot() ExecSnapshot {
 	s.Batches = e.Batches.Load()
 	s.BatchItems = e.BatchItems.Load()
 	s.ArenaBytesResident = e.ArenaBytesResident.Load()
+	s.ArenaBytesPeak = e.ArenaBytesPeak.Load()
 	s.ScratchHighWater = e.ScratchHighWater.Load()
 	s.RunLatency = e.RunNs.Snapshot()
 	return s

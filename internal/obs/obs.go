@@ -96,6 +96,34 @@ func LayerTable(title string, s metrics.Snapshot, prefix string) *report.Table {
 	return t
 }
 
+// RegionTable renders the snapshot's fused-region series whose names start
+// with prefix (all of them when prefix is empty) as one row per region: the
+// scheduler's mode decision, live run/tile counters, the intermediate bytes
+// it retained on-chip or spilled, and the modeled DRAM traffic with and
+// without fusion. Empty snapshots (plans compiled without Options.Fuse)
+// render a header-only table.
+func RegionTable(title string, s metrics.Snapshot, prefix string) *report.Table {
+	t := report.NewTable(title,
+		"region", "mode", "runs", "tiles", "retained", "spilled",
+		"fused dram", "unfused dram")
+	for _, r := range s.Regions {
+		if prefix != "" && !strings.HasPrefix(r.Name, prefix) {
+			continue
+		}
+		t.AddRow(
+			strings.TrimPrefix(r.Name, prefix),
+			r.Mode,
+			report.Count(r.Runs),
+			report.Count(r.Tiles),
+			report.Bytes(r.RetainedBytes),
+			report.Bytes(r.SpilledBytes),
+			report.Bytes(r.FusedDRAMBytes),
+			report.Bytes(r.UnfusedDRAMBytes),
+		)
+	}
+	return t
+}
+
 // PoolTable renders the worker-pool telemetry: where parallel-for blocks
 // ran (helper goroutine, inline fallback, calling goroutine), helper spawn
 // latency, and token occupancy at region entry.
@@ -117,11 +145,13 @@ func PoolTable(s metrics.Snapshot) *report.Table {
 }
 
 // ExecTable renders the executor/arena telemetry: pooling behavior, run
-// counts, arena residency, and the kernel-scratch high-water mark.
+// counts, arena residency, the largest single plan arena built (the
+// high-water mark the fused scheduler shrinks), and the kernel-scratch
+// high-water mark.
 func ExecTable(s metrics.Snapshot) *report.Table {
 	t := report.NewTable("executors",
 		"acquires", "reuses", "builds", "runs", "mean run ns",
-		"arena resident", "scratch high water")
+		"arena resident", "arena peak", "scratch high water")
 	e := s.Exec
 	t.AddRow(
 		report.Count(e.Acquires),
@@ -130,6 +160,7 @@ func ExecTable(s metrics.Snapshot) *report.Table {
 		report.Count(e.Runs),
 		report.Count(e.RunLatency.MeanNs),
 		report.Bytes(e.ArenaBytesResident),
+		report.Bytes(e.ArenaBytesPeak),
 		report.Bytes(e.ScratchHighWater*4),
 	)
 	return t

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -51,6 +52,22 @@ type execStep struct {
 	// by layer name, so pooled executors aggregate into the same rows.
 	stats  *metrics.LayerStats
 	kernel metrics.Kernel
+	// region is set for fused region steps (nil for singletons); the step
+	// then runs the whole region through runRegion instead of runStep.
+	region *regionExec
+}
+
+// regionExec is the precompiled execution state of one fused region step:
+// the tile windows, their pool-side views, and the head kernel's operands.
+type regionExec struct {
+	rp      *RegionPlan
+	windows []sched.Window      // per-image tile grid (empty unless tiled)
+	pools   []tensor.PoolWindow // pool view of each window
+	outC    int                 // conv output channels (tile plane count)
+	maxPool bool
+	// weight/bias back the dense windowed kernel (nil for IPE heads).
+	weight, bias *tensor.Tensor
+	stats        *metrics.RegionStats
 }
 
 // NewExecutor builds an execution context for the plan: it allocates the
@@ -68,6 +85,11 @@ func (p *Plan) NewExecutor() *Executor {
 	if e.rec != nil {
 		e.rec.Exec.Builds.Add(1)
 		e.rec.Exec.ArenaBytesResident.Add(p.ArenaBytes)
+		e.rec.Exec.UpdateArenaPeak(p.ArenaBytes)
+		for _, rp := range p.Regions {
+			e.rec.Region(p.MetricsPrefix+rp.Name).SetModel(rp.Mode(),
+				rp.RetainedBytes, rp.SpilledBytes, rp.FusedDRAMBytes, rp.UnfusedDRAMBytes)
+		}
 	}
 	maxID := 0
 	order := p.Graph.Topo()
@@ -82,23 +104,38 @@ func (p *Plan) NewExecutor() *Executor {
 			e.slots[n.ID] = n.Value
 		}
 	}
-	e.steps = make([]execStep, len(p.Ops))
-	for i := range p.Ops {
-		op := &p.Ops[i]
-		n := op.Node
-		al, ok := p.Alloc[n.ID]
-		if !ok {
-			panic(fmt.Sprintf("runtime: no allocation for %s", n))
+	e.steps = make([]execStep, len(p.steps))
+	for i, ps := range p.steps {
+		var (
+			op   *CompiledOp
+			n    *graph.Node   // dispatch node (region head for fused steps)
+			outN *graph.Node   // node whose buffer the step writes
+			name string        // metrics series name
+			re   *regionExec
+		)
+		if ps.region != nil {
+			rp := ps.region
+			op, n, outN, name = rp.headOp, rp.Head, rp.Tail, rp.Name
+			re = newRegionExec(rp)
+			if e.rec != nil {
+				re.stats = e.rec.Region(p.MetricsPrefix + name)
+			}
+		} else {
+			op, n, outN, name = ps.op, ps.op.Node, ps.op.Node, ps.op.Node.Name
 		}
-		out := tensor.From(e.arena[al.Offset/4:al.End()/4], n.OutShape...)
-		e.slots[n.ID] = out
+		al, ok := p.Alloc[outN.ID]
+		if !ok {
+			panic(fmt.Sprintf("runtime: no allocation for %s", outN))
+		}
+		out := tensor.From(e.arena[al.Offset/4:al.End()/4], outN.OutShape...)
+		e.slots[outN.ID] = out
 		st := execStep{
-			op: op, node: n, out: out,
+			op: op, node: n, out: out, region: re,
 			insIDs: make([]int, len(n.Inputs)),
 			ins:    make([]*tensor.Tensor, len(n.Inputs)),
 		}
 		if e.rec != nil {
-			st.stats = e.rec.Layer(p.MetricsPrefix + n.Name)
+			st.stats = e.rec.Layer(p.MetricsPrefix + name)
 			st.kernel = stepKernel(op)
 		}
 		for j, in := range n.Inputs {
@@ -106,7 +143,49 @@ func (p *Plan) NewExecutor() *Executor {
 		}
 		e.steps[i] = st
 	}
+	// Retained concats have an allocation (their inputs write through into
+	// it) but no step of their own; materialize their views so consumers
+	// can read the assembled slab.
+	for _, n := range order {
+		if e.slots[n.ID] != nil || n.Kind == graph.OpInput {
+			continue
+		}
+		if al, ok := p.Alloc[n.ID]; ok {
+			e.slots[n.ID] = tensor.From(e.arena[al.Offset/4:al.End()/4], n.OutShape...)
+		}
+	}
 	return e
+}
+
+// newRegionExec precompiles one fused region's execution state. For tiled
+// regions it materializes the per-image window grid once, with each
+// window's pool-side view, so Run touches no planner code.
+func newRegionExec(rp *RegionPlan) *regionExec {
+	re := &regionExec{rp: rp}
+	if !rp.Tiled {
+		return re
+	}
+	re.windows = rp.Problem.Windows(rp.Tile)
+	re.outC = rp.Head.Attrs.Conv.Normalize().OutC
+	re.maxPool = rp.Pool.Kind == graph.OpMaxPool
+	pa := rp.Pool.Attrs.Pool
+	re.pools = make([]tensor.PoolWindow, len(re.windows))
+	for i, w := range re.windows {
+		re.pools[i] = tensor.PoolWindow{
+			KH: pa.KH, KW: pa.KW,
+			StrideH: pa.StrideH, StrideW: pa.StrideW,
+			PadH: pa.PadH, PadW: pa.PadW,
+			InH: rp.Tile.ConvOH, InW: rp.Tile.ConvOW,
+			PY0: w.PY0, PY1: w.PY1, PX0: w.PX0, PX1: w.PX1,
+			CY0: w.CY0, CX0: w.CX0,
+			TH: w.CY1 - w.CY0, TW: w.CX1 - w.CX0,
+		}
+	}
+	if rp.Impl == ImplDense {
+		re.weight = rp.Head.Param("weight")
+		re.bias = rp.Head.Param("bias")
+	}
+	return re
 }
 
 // stepKernel maps a compiled operator to the kernel-family tag its
@@ -186,10 +265,10 @@ func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 		var err error
 		if st.stats != nil {
 			t0 := time.Now()
-			err = e.runStep(st)
+			err = e.dispatchStep(st)
 			st.stats.Record(st.kernel, time.Since(t0).Nanoseconds(), batch)
 		} else {
-			err = e.runStep(st)
+			err = e.dispatchStep(st)
 		}
 		if err != nil {
 			e.dropInputRefs()
@@ -220,6 +299,99 @@ func (e *Executor) dropInputRefs() {
 			ins[j] = nil
 		}
 	}
+}
+
+// dispatchStep routes a step to the fused-region runner or the singleton
+// operator path.
+func (e *Executor) dispatchStep(st *execStep) error {
+	if st.region != nil {
+		return e.runRegion(st)
+	}
+	return e.runStep(st)
+}
+
+// runRegion executes one fused region step. Elementwise regions run the
+// head kernel straight into the tail's buffer and rectify in place. Tiled
+// regions stream SRAM-sized conv tiles through scratch into the pool: when
+// there are at least as many tiles as shards the tiles themselves are the
+// parallel units (serial kernels, per-shard scratch); otherwise the tiles
+// run in order with the kernels sharded internally. Both schedules produce
+// bit-identical outputs — every tile element equals the corresponding
+// whole-layer element, and each pool output is written exactly once.
+func (e *Executor) runRegion(st *execStep) error {
+	re := st.region
+	if !re.rp.Tiled {
+		if err := e.runStep(st); err != nil {
+			return err
+		}
+		if re.rp.ExtraReLU {
+			tensor.ReLUInto(st.out, st.out)
+		}
+		if re.stats != nil {
+			re.stats.Runs.Add(1)
+		}
+		return nil
+	}
+	in, dst := st.ins[0], st.out
+	batch := in.Dim(0)
+	nw := len(re.windows)
+	units := batch * nw
+	if e.par.Parallel() && e.par.Shards() > 1 && units >= e.par.Shards() {
+		e.par.For(units, func(shard, lo, hi int) {
+			s := e.par.Scratch(shard)
+			for u := lo; u < hi; u++ {
+				e.execTile(re, in, dst, u/nw, u%nw, s, nil)
+			}
+		})
+	} else {
+		s0 := e.par.Scratch(0)
+		for b := 0; b < batch; b++ {
+			for wi := 0; wi < nw; wi++ {
+				e.execTile(re, in, dst, b, wi, s0, e.par)
+			}
+		}
+	}
+	if re.stats != nil {
+		re.stats.Runs.Add(1)
+		re.stats.Tiles.Add(int64(units))
+	}
+	return nil
+}
+
+// execTile computes one conv-output tile of one batch element into scratch,
+// rectifies it if the region fused a ReLU, and reduces it through the pool
+// window into the region's output buffer. With par non-nil the conv kernel
+// shards internally (tile-serial mode); otherwise it runs serial on s
+// (tile-parallel mode).
+func (e *Executor) execTile(re *regionExec, in, dst *tensor.Tensor, b, wi int, s *tensor.Scratch, par *tensor.Par) {
+	rp := re.rp
+	w := re.windows[wi]
+	mark := s.Mark()
+	tile := s.Take(rp.Tile.TileFloats)
+	if tn := re.outC * w.ConvPixels(); tn > 0 {
+		if rp.Impl == ImplIPE {
+			if par != nil {
+				rp.headOp.ipeConv.ForwardWindowIntoPar(tile, in, b, w.CY0, w.CY1, w.CX0, w.CX1, par)
+			} else {
+				rp.headOp.ipeConv.ForwardWindowInto(tile, in, b, w.CY0, w.CY1, w.CX0, w.CX1, s)
+			}
+		} else {
+			if par != nil {
+				tensor.Conv2DWindowIntoPar(tile, in, re.weight, re.bias, rp.Head.Attrs.Conv, b, w.CY0, w.CY1, w.CX0, w.CX1, par)
+			} else {
+				tensor.Conv2DWindowInto(tile, in, re.weight, re.bias, rp.Head.Attrs.Conv, b, w.CY0, w.CY1, w.CX0, w.CX1)
+			}
+		}
+		if rp.ApplyReLU {
+			tensor.ReLUSlice(tile[:tn])
+		}
+	}
+	if re.maxPool {
+		tensor.MaxPool2DWindowFromTile(dst, tile, b, re.pools[wi])
+	} else {
+		tensor.AvgPool2DWindowFromTile(dst, tile, b, re.pools[wi])
+	}
+	s.Release(mark)
 }
 
 // runStep dispatches one operator to its selected destination-passing

@@ -1,0 +1,394 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// This file is the graph-level scheduler behind Options.Fuse: it decides
+// how each fusible region executes (tiled against SRAM, elementwise
+// write-through, or spilled back to per-operator steps), which concat
+// inputs retain their output in the concat's buffer, and lays the arena
+// out over the resulting step schedule instead of per-node whole tensors.
+// The unfused planner in planner.go is untouched; both produce plans whose
+// executions are bit-identical (the conformance harness sweeps fused vs
+// unfused on every seed).
+
+// RegionPlan is the scheduler's decision for one fusible region of the
+// graph (a conv→[relu...]→pool or conv/dense→relu... chain found by
+// graph.FuseRegions).
+type RegionPlan struct {
+	// Name is the region's display name ("conv1+pool1").
+	Name string
+	// Head is the conv/dense producer; Tail the last fused node (the
+	// region step's output buffer); Pool the pooling tail, nil for
+	// elementwise regions. Members lists head..tail in chain order.
+	Head, Tail, Pool *graph.Node
+	Members          []*graph.Node
+	// Impl is the head operator's chosen implementation.
+	Impl Impl
+
+	// Tiled regions evaluate the conv interior in SRAM-sized tiles that
+	// feed the pool directly; the conv output never materializes in the
+	// arena. Spilled regions could not be tiled (working set exceeds the
+	// scratchpad even at 1×1 tiles, or the head implementation has no
+	// windowed kernel) and execute member-by-member like an unfused plan.
+	// A region with neither flag is an elementwise chain whose head writes
+	// through to the tail's buffer.
+	Tiled   bool
+	Spilled bool
+	// Problem/Tile describe the tiling when Tiled.
+	Problem sched.Problem
+	Tile    sched.TilePlan
+	// ApplyReLU rectifies each conv tile before pooling (tiled regions);
+	// ExtraReLU rectifies the tail buffer after the head kernel
+	// (elementwise regions with explicit interior ReLUs).
+	ApplyReLU bool
+	ExtraReLU bool
+
+	// RetainedBytes counts intermediate bytes that never reach the arena
+	// (tiled conv/relu outputs, elementwise interiors); SpilledBytes the
+	// interiors a spilled region still materializes. FusedDRAMBytes and
+	// UnfusedDRAMBytes are the modeled region traffic with and without
+	// fusion (equal for spilled regions).
+	RetainedBytes    int64
+	SpilledBytes     int64
+	FusedDRAMBytes   int64
+	UnfusedDRAMBytes int64
+	// Sim is the modeled fused execution (zero for spilled regions, whose
+	// members keep their own Sims).
+	Sim accel.Result
+
+	headOp *CompiledOp
+	poolOp *CompiledOp
+}
+
+// Mode names the region's execution mode for reports and metrics.
+func (rp *RegionPlan) Mode() string {
+	switch {
+	case rp.Spilled:
+		return "spilled"
+	case rp.Tiled:
+		return "tiled"
+	default:
+		return "elementwise"
+	}
+}
+
+// planStep is one entry of the execution schedule: either a singleton
+// operator or a whole fused region (exactly one of the fields is set).
+type planStep struct {
+	op     *CompiledOp
+	region *RegionPlan
+}
+
+// bufAlias records that a node's buffer is a byte sub-range of another
+// node's buffer (concat write-through retention; chains compose).
+type bufAlias struct {
+	parent int
+	offset int64
+}
+
+func nodeBytes(n *graph.Node) int64 { return int64(n.OutShape.NumElements()) * 4 }
+
+// buildFusedPlan runs the scheduler over an op-compiled plan: it classifies
+// every region, picks tile shapes, computes concat retention, builds the
+// step schedule, and lays out the arena with interval liveness over that
+// schedule. It fills p.Regions, p.steps, p.Alloc and p.ArenaBytes.
+func buildFusedPlan(p *Plan) error {
+	g := p.Graph
+	opsByID := make(map[int]*CompiledOp, len(p.Ops))
+	for i := range p.Ops {
+		opsByID[p.Ops[i].Node.ID] = &p.Ops[i]
+	}
+
+	interiorOf := make(map[int]*RegionPlan)
+	tailOf := make(map[int]*RegionPlan)
+	for _, gr := range g.Regions {
+		rp := planRegion(gr, opsByID, p.Opts)
+		p.Regions = append(p.Regions, rp)
+		if rp.Spilled {
+			continue
+		}
+		tailOf[rp.Tail.ID] = rp
+		for _, m := range rp.Members[:len(rp.Members)-1] {
+			interiorOf[m.ID] = rp
+		}
+	}
+
+	alias, retainedConcat := planConcatRetention(g, interiorOf)
+
+	// The step schedule: ops in topological order, with each non-spilled
+	// region collapsing onto its tail's position and retained concats
+	// disappearing entirely (their members write the slab in place).
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		id := op.Node.ID
+		switch {
+		case interiorOf[id] != nil:
+		case tailOf[id] != nil:
+			p.steps = append(p.steps, planStep{region: tailOf[id]})
+		case retainedConcat[id]:
+		default:
+			p.steps = append(p.steps, planStep{op: op})
+		}
+	}
+
+	return planScheduledMemory(p, alias)
+}
+
+// planRegion classifies one graph region and models its fused execution.
+func planRegion(gr graph.Region, opsByID map[int]*CompiledOp, opts Options) *RegionPlan {
+	rp := &RegionPlan{
+		Name: gr.Name(), Head: gr.Head, Tail: gr.Tail, Pool: gr.Pool,
+		Members: gr.Nodes(), headOp: opsByID[gr.Head.ID],
+	}
+	rp.Impl = rp.headOp.Impl
+	if gr.Pool != nil {
+		rp.poolOp = opsByID[gr.Pool.ID]
+	}
+
+	var interiorBytes int64
+	for _, m := range rp.Members[:len(rp.Members)-1] {
+		interiorBytes += nodeBytes(m)
+	}
+	var memberDRAM int64
+	for _, m := range rp.Members {
+		memberDRAM += opsByID[m.ID].Sim.DRAMBytes
+	}
+	rp.UnfusedDRAMBytes = memberDRAM
+
+	if gr.Pool == nil {
+		// Elementwise chain: the head writes through to the tail's buffer
+		// and the ReLUs run in place, so the interiors never round-trip.
+		rp.ExtraReLU = len(gr.Relus) > 0
+		rp.RetainedBytes = interiorBytes
+		rp.FusedDRAMBytes = maxI64(memberDRAM-2*interiorBytes, 0)
+		rp.Sim = regionSim(rp, opsByID, opts)
+		return rp
+	}
+
+	if rp.Impl != ImplDense && rp.Impl != ImplIPE {
+		// No windowed kernel for this head implementation: spill.
+		spillRegion(rp, interiorBytes)
+		return rp
+	}
+	prob, tp, err := planRegionTiles(rp, opts)
+	if err != nil {
+		spillRegion(rp, interiorBytes)
+		return rp
+	}
+	rp.Tiled = true
+	rp.Problem, rp.Tile = prob, tp
+	rp.ApplyReLU = gr.Head.Attrs.FusedReLU || len(gr.Relus) > 0
+	rp.RetainedBytes = interiorBytes
+	// The sched model covers the conv+pool pair; interior ReLUs (rare
+	// after relu-fuse) additionally save their unfused round trip.
+	convBytes := nodeBytes(gr.Head)
+	pairSavings := tp.UnfusedDRAMBytes - tp.FusedDRAMBytes
+	rp.FusedDRAMBytes = maxI64(memberDRAM-pairSavings-2*(interiorBytes-convBytes), 0)
+	rp.Sim = regionSim(rp, opsByID, opts)
+	return rp
+}
+
+func spillRegion(rp *RegionPlan, interiorBytes int64) {
+	rp.Spilled = true
+	rp.SpilledBytes = interiorBytes
+	rp.FusedDRAMBytes = rp.UnfusedDRAMBytes
+}
+
+// planRegionTiles builds the tiling problem for a pool-tailed region and
+// asks the sched planner for a tile shape fitting the scratchpad.
+func planRegionTiles(rp *RegionPlan, opts Options) (sched.Problem, sched.TilePlan, error) {
+	in := rp.Head.Inputs[0].OutShape
+	prof, ok := rp.headOp.profiles[rp.Impl]
+	if !ok {
+		return sched.Problem{}, sched.TilePlan{}, fmt.Errorf("runtime: no profile for %s/%s", rp.Head, rp.Impl)
+	}
+	prob := sched.Problem{
+		Spec: rp.Head.Attrs.Conv,
+		InH:  in[2], InW: in[3], Batch: in[0],
+		Pool:        rp.Pool.Attrs.Pool,
+		WeightBytes: prof.StationaryBytes,
+	}
+	tp, err := sched.Plan(prob, opts.HW)
+	return prob, tp, err
+}
+
+// regionSim re-simulates a fused region: the member profiles are summed and
+// the DRAM traffic replaced by the fused value (compute work is unchanged —
+// fusion moves bytes, not math). Tiled regions also take the tile working
+// set, which is what actually occupies the scratchpad.
+func regionSim(rp *RegionPlan, opsByID map[int]*CompiledOp, opts Options) accel.Result {
+	prof, ok := rp.headOp.profiles[rp.Impl]
+	if !ok {
+		return rp.headOp.Sim
+	}
+	for _, m := range rp.Members[1:] {
+		op := opsByID[m.ID]
+		mp, ok := op.profiles[op.Impl]
+		if !ok {
+			continue
+		}
+		prof.Accumulate(mp)
+	}
+	prof.Name = rp.Name
+	prof.DRAMBytes = rp.FusedDRAMBytes
+	if rp.Tiled {
+		prof.WorkingSetBytes = rp.Tile.WorkingSetBytes
+	}
+	return opts.HW.Simulate(prof)
+}
+
+// planConcatRetention finds concats whose every input can write through
+// into the concat's own buffer: batch-1, each producer computed (not the
+// graph input or a constant), feeding exactly that concat exactly once, and
+// not buried inside a fused region (tails are fine — the region step then
+// writes the slab directly). Retained concats cost nothing at runtime: the
+// returned aliases place each producer at its channel offset in the
+// concat's allocation, and chains of retained concats compose.
+func planConcatRetention(g *graph.Graph, interiorOf map[int]*RegionPlan) (map[int]bufAlias, map[int]bool) {
+	cons := g.Consumers()
+	alias := make(map[int]bufAlias)
+	retained := make(map[int]bool)
+	for _, n := range g.Topo() {
+		if n.Kind != graph.OpConcat || len(n.OutShape) == 0 || n.OutShape[0] != 1 {
+			continue
+		}
+		ok := true
+		seen := make(map[int]bool, len(n.Inputs))
+		for _, in := range n.Inputs {
+			if in.Kind == graph.OpInput || in.Kind == graph.OpConst ||
+				in == g.Out || seen[in.ID] ||
+				len(cons[in]) != 1 || interiorOf[in.ID] != nil {
+				ok = false
+				break
+			}
+			seen[in.ID] = true
+		}
+		if !ok {
+			continue
+		}
+		retained[n.ID] = true
+		var off int64
+		for _, in := range n.Inputs {
+			alias[in.ID] = bufAlias{parent: n.ID, offset: off}
+			off += nodeBytes(in)
+		}
+	}
+	return alias, retained
+}
+
+// planScheduledMemory lays the arena out with interval liveness over the
+// step schedule: canonical buffers (alias roots) are born at their first
+// writing step and die after their last reading step, and the first-fit
+// arena reuses space exactly like the unfused planner — but intermediate
+// tensors inside tiled regions never appear, and retained concat members
+// occupy slices of the concat's single allocation.
+func planScheduledMemory(p *Plan, alias map[int]bufAlias) error {
+	g := p.Graph
+	nodesByID := make(map[int]*graph.Node)
+	for _, n := range g.Topo() {
+		nodesByID[n.ID] = n
+		if n.Kind != graph.OpInput && n.Kind != graph.OpConst && !n.OutShape.Valid() {
+			return fmt.Errorf("runtime: node %s has invalid shape %v", n, n.OutShape)
+		}
+	}
+	resolve := func(id int) (int, int64) {
+		var off int64
+		for {
+			a, ok := alias[id]
+			if !ok {
+				return id, off
+			}
+			off += a.offset
+			id = a.parent
+		}
+	}
+	stepWrite := func(s planStep) int {
+		if s.region != nil {
+			return s.region.Tail.ID
+		}
+		return s.op.Node.ID
+	}
+	stepReads := func(s planStep) []*graph.Node {
+		if s.region != nil {
+			return s.region.Head.Inputs
+		}
+		return s.op.Node.Inputs
+	}
+
+	birth := make(map[int]int)
+	death := make(map[int]int)
+	for i, s := range p.steps {
+		root, _ := resolve(stepWrite(s))
+		if _, ok := birth[root]; !ok {
+			birth[root] = i
+		}
+		death[root] = i // a write keeps the buffer live through its step
+		for _, in := range stepReads(s) {
+			if in.Kind == graph.OpInput || in.Kind == graph.OpConst {
+				continue
+			}
+			r, _ := resolve(in.ID)
+			if _, ok := birth[r]; !ok {
+				return fmt.Errorf("runtime: step %d reads %s before any write", i, in)
+			}
+			if death[r] < i {
+				death[r] = i
+			}
+		}
+	}
+	outRoot, _ := resolve(g.Out.ID)
+	if _, ok := birth[outRoot]; !ok {
+		return fmt.Errorf("runtime: no step writes the graph output %s", g.Out)
+	}
+	death[outRoot] = len(p.steps) // the result outlives the schedule
+
+	var a arena
+	allocs := make(map[int]Allocation, len(birth))
+	expiring := make(map[int][]Allocation)
+	for i, s := range p.steps {
+		for _, al := range expiring[i] {
+			a.release(al)
+		}
+		delete(expiring, i)
+		root, _ := resolve(stepWrite(s))
+		if _, done := allocs[root]; done || birth[root] != i {
+			continue
+		}
+		size := nodeBytes(nodesByID[root])
+		al := Allocation{Offset: a.alloc(size), Size: size}
+		allocs[root] = al
+		expiring[death[root]+1] = append(expiring[death[root]+1], al)
+	}
+
+	p.Alloc = make(map[int]Allocation, len(allocs)+len(alias))
+	for id, al := range allocs {
+		p.Alloc[id] = al
+	}
+	for id := range alias {
+		root, off := resolve(id)
+		ral, ok := allocs[root]
+		if !ok {
+			return fmt.Errorf("runtime: aliased node %d has unallocated root %d", id, root)
+		}
+		n := nodesByID[id]
+		p.Alloc[id] = Allocation{Offset: ral.Offset + off, Size: nodeBytes(n)}
+		if p.Alloc[id].End() > ral.End() {
+			return fmt.Errorf("runtime: alias %s overflows its concat slab", n)
+		}
+	}
+	p.ArenaBytes = a.high
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,364 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// compileFusedPair compiles two independent builds of the same model, one
+// with the graph scheduler and one without, under identical options (so
+// implementation selection is identical and outputs must be bit-equal).
+func compileFusedPair(t *testing.T, build func() *graph.Graph, opts Options) (fused, base *Plan) {
+	t.Helper()
+	opts.Fuse = true
+	fused, err := Compile(build(), opts)
+	if err != nil {
+		t.Fatalf("fused compile: %v", err)
+	}
+	opts.Fuse = false
+	base, err = Compile(build(), opts)
+	if err != nil {
+		t.Fatalf("base compile: %v", err)
+	}
+	return fused, base
+}
+
+func runBoth(t *testing.T, fused, base *Plan, seed uint64) {
+	t.Helper()
+	in := gaussianInput(base.Graph.In.OutShape, seed)
+	want, err := base.Run(in)
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	got, err := fused.Run(in)
+	if err != nil {
+		t.Fatalf("fused run: %v", err)
+	}
+	if !got.Shape().Equal(want.Shape()) {
+		t.Fatalf("fused shape %v != base %v", got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range wd {
+		if gd[i] != wd[i] {
+			t.Fatalf("fused output[%d] = %v != base %v (bit-exact required)", i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestFusedBitIdenticalModels checks the scheduler end to end on real
+// models under every forceable implementation: fused and unfused plans must
+// agree bit for bit. CSR/factorized heads exercise the spill path (no
+// windowed kernel); dense and IPE heads the tiled path.
+func TestFusedBitIdenticalModels(t *testing.T) {
+	models := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"lenet5", func() *graph.Graph { return nn.LeNet5(2, 11) }},
+		{"squeezenet", func() *graph.Graph { return nn.SqueezeNet(1, 32, 10, 7) }},
+	}
+	for _, m := range models {
+		for _, force := range []Impl{ImplAuto, ImplDense, ImplIPE, ImplCSR} {
+			t.Run(m.name+"/"+force.String(), func(t *testing.T) {
+				fused, base := compileFusedPair(t, m.build, Options{Force: force})
+				if len(fused.Regions) == 0 {
+					t.Fatal("scheduler found no regions")
+				}
+				runBoth(t, fused, base, 3)
+			})
+		}
+	}
+}
+
+// TestFusedArenaAndDRAMReduction is the acceptance gate: on the evaluation
+// models the fused plan must shrink the peak arena by at least 25% and the
+// fused regions' modeled DRAM traffic by at least 30%.
+func TestFusedArenaAndDRAMReduction(t *testing.T) {
+	models := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"lenet5", func() *graph.Graph { return nn.LeNet5(1, 11) }},
+		{"squeezenet", func() *graph.Graph { return nn.SqueezeNet(1, 32, 10, 7) }},
+	}
+	for _, m := range models {
+		t.Run(m.name, func(t *testing.T) {
+			fused, base := compileFusedPair(t, m.build, Options{Force: ImplIPE})
+			if fused.ArenaBytes*4 > base.ArenaBytes*3 {
+				t.Errorf("arena %d is not >=25%% below unfused %d", fused.ArenaBytes, base.ArenaBytes)
+			}
+			var fd, ud int64
+			for _, rp := range fused.Regions {
+				if rp.Spilled {
+					t.Errorf("region %s spilled on the default config", rp.Name)
+					continue
+				}
+				fd += rp.FusedDRAMBytes
+				ud += rp.UnfusedDRAMBytes
+			}
+			if ud == 0 {
+				t.Fatal("no fused regions to measure")
+			}
+			if fd*10 > ud*7 {
+				t.Errorf("region DRAM %d is not >=30%% below unfused %d", fd, ud)
+			}
+			if fused.Total.DRAMBytes >= base.Total.DRAMBytes {
+				t.Errorf("fused Total.DRAMBytes %d >= unfused %d", fused.Total.DRAMBytes, base.Total.DRAMBytes)
+			}
+		})
+	}
+}
+
+// TestFusedTinySRAMMultiTile forces multi-tile schedules with a 4 KiB
+// scratchpad: regions must split into several tiles per image and still
+// match the unfused plan bit for bit, under both the tile-parallel and the
+// tile-serial executor paths.
+func TestFusedTinySRAMMultiTile(t *testing.T) {
+	hw := accel.Default()
+	hw.SRAMBytes = 4 << 10
+	for _, force := range []Impl{ImplDense, ImplIPE} {
+		t.Run(force.String(), func(t *testing.T) {
+			build := func() *graph.Graph { return nn.LeNet5(2, 11) }
+			fused, base := compileFusedPair(t, build, Options{Force: force, HW: hw})
+			multi := false
+			for _, rp := range fused.Regions {
+				if rp.Tiled && rp.Tile.TilesPerImage > 1 {
+					multi = true
+				}
+			}
+			if !multi {
+				t.Fatal("4 KiB SRAM should force multi-tile schedules")
+			}
+			runBoth(t, fused, base, 5)
+
+			in := gaussianInput(base.Graph.In.OutShape, 6)
+			want, err := base.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 7} {
+				e := fused.NewExecutor()
+				e.SetParallelism(shards)
+				got, err := e.Run(in)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				for i := range want.Data() {
+					if got.Data()[i] != want.Data()[i] {
+						t.Fatalf("shards=%d output[%d] differs", shards, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFusedElementwiseAndConcatRetention builds a fire-like graph with a
+// double ReLU (one survives relu-fuse as an explicit interior node) and a
+// concat of two single-consumer convs: the scheduler must fuse the
+// elementwise chain and retain both concat inputs inside the concat's
+// allocation, and the result must stay bit-identical.
+func TestFusedElementwiseAndConcatRetention(t *testing.T) {
+	build := func() *graph.Graph {
+		g := graph.New("in", 1, 3, 8, 8)
+		rng := tensor.NewRNG(99)
+		conv := func(x *graph.Node, name string, inC, outC int) *graph.Node {
+			spec := tensor.ConvSpec{InC: inC, OutC: outC, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+			w := tensor.New(spec.WeightShape()...)
+			tensor.FillGaussian(w, rng, 0.5)
+			b := tensor.New(outC)
+			tensor.FillGaussian(b, rng, 0.5)
+			return g.Conv(x, name, spec, w, b)
+		}
+		// Double ReLU: relu-fuse absorbs the first into the conv, the
+		// second stays explicit -> elementwise region conv+relu.
+		x := g.ReLU(g.ReLU(conv(g.In, "stem", 3, 4), "r1"), "r2")
+		a := g.ReLU(conv(x, "branch_a", 4, 5), "ra")
+		b := g.ReLU(conv(x, "branch_b", 4, 3), "rb")
+		cat := g.Concat("cat", a, b)
+		g.SetOutput(g.MaxPool(cat, "pool", graph.PoolAttrs{KH: 2, KW: 2, StrideH: 2, StrideW: 2}))
+		return g
+	}
+	fused, base := compileFusedPair(t, build, Options{Force: ImplIPE})
+
+	var sawElementwise bool
+	for _, rp := range fused.Regions {
+		if rp.Pool == nil && !rp.Spilled {
+			sawElementwise = true
+			if !rp.ExtraReLU {
+				t.Errorf("elementwise region %s lost its explicit ReLU", rp.Name)
+			}
+		}
+	}
+	if !sawElementwise {
+		t.Error("expected an elementwise region from the double ReLU")
+	}
+
+	var cat *graph.Node
+	for _, n := range fused.Graph.Topo() {
+		if n.Kind == graph.OpConcat {
+			cat = n
+		}
+	}
+	if cat == nil {
+		t.Fatal("concat vanished")
+	}
+	catAl := fused.Alloc[cat.ID]
+	var off int64
+	for _, in := range cat.Inputs {
+		al, ok := fused.Alloc[in.ID]
+		if !ok {
+			t.Fatalf("concat input %s has no allocation", in)
+		}
+		if al.Offset != catAl.Offset+off {
+			t.Errorf("concat input %s not retained in slab: offset %d, want %d", in, al.Offset, catAl.Offset+off)
+		}
+		off += int64(in.OutShape.NumElements()) * 4
+	}
+
+	runBoth(t, fused, base, 4)
+}
+
+// TestFusedScheduleLiveness re-derives buffer lifetimes from the fused step
+// schedule and checks the invariant the executor depends on: no two
+// simultaneously-live canonical buffers overlap, every allocation lies
+// inside the arena, and the graph output survives to the end.
+func TestFusedScheduleLiveness(t *testing.T) {
+	builds := []func() *graph.Graph{
+		func() *graph.Graph { return nn.LeNet5(2, 11) },
+		func() *graph.Graph { return nn.SqueezeNet(1, 32, 10, 7) },
+		func() *graph.Graph { return nn.MobileNetV1(1, 32, 10, 7) },
+	}
+	for _, build := range builds {
+		p, err := Compile(build(), Options{Force: ImplIPE, Fuse: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := p.Graph
+		// Retained concat slabs are written piecewise by their members'
+		// steps. Arena reuse can give unrelated buffers identical ranges,
+		// so identify slabs structurally: a concat whose inputs' planned
+		// allocations tile its own, in order.
+		parentOf := make(map[int]int)
+		for _, n := range g.Topo() {
+			if n.Kind != graph.OpConcat {
+				continue
+			}
+			cal, ok := p.Alloc[n.ID]
+			if !ok {
+				continue
+			}
+			off, tiled := cal.Offset, true
+			for _, in := range n.Inputs {
+				al, ok := p.Alloc[in.ID]
+				if !ok || al.Offset != off {
+					tiled = false
+					break
+				}
+				off = al.End()
+			}
+			if tiled && off == cal.End() {
+				for _, in := range n.Inputs {
+					parentOf[in.ID] = n.ID
+				}
+			}
+		}
+		// Interval per written buffer, from the schedule itself.
+		type iv struct{ birth, death int }
+		live := make(map[int]iv)
+		touch := func(id, step int, write bool) {
+			al, ok := p.Alloc[id]
+			if !ok {
+				t.Fatalf("step %d touches unallocated node %d", step, id)
+			}
+			if al.Offset < 0 || al.End() > p.ArenaBytes {
+				t.Fatalf("allocation %+v outside arena %d", al, p.ArenaBytes)
+			}
+			v, ok := live[id]
+			if !ok {
+				if !write {
+					t.Fatalf("step %d reads node %d before any write", step, id)
+				}
+				v = iv{birth: step, death: step}
+			}
+			v.death = step
+			live[id] = v
+		}
+		for i, s := range p.steps {
+			var w *graph.Node
+			var reads []*graph.Node
+			if s.region != nil {
+				w, reads = s.region.Tail, s.region.Head.Inputs
+			} else {
+				w, reads = s.op.Node, s.op.Node.Inputs
+			}
+			for _, in := range reads {
+				if in.Kind != graph.OpInput && in.Kind != graph.OpConst {
+					touch(in.ID, i, false)
+				}
+			}
+			for id := w.ID; ; {
+				touch(id, i, true)
+				next, ok := parentOf[id]
+				if !ok {
+					break
+				}
+				id = next
+			}
+		}
+		if v, ok := live[g.Out.ID]; ok {
+			v.death = len(p.steps)
+			live[g.Out.ID] = v
+		} else {
+			t.Fatal("graph output never written")
+		}
+		// Concat-slab aliases legitimately overlap their parent; compare
+		// only buffers that do not nest.
+		nested := func(a, b Allocation) bool {
+			return (a.Offset >= b.Offset && a.End() <= b.End()) ||
+				(b.Offset >= a.Offset && b.End() <= a.End())
+		}
+		ids := make([]int, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		for i, a := range ids {
+			for _, b := range ids[i+1:] {
+				va, vb := live[a], live[b]
+				if va.birth > vb.death || vb.birth > va.death {
+					continue
+				}
+				alA, alB := p.Alloc[a], p.Alloc[b]
+				if alA.Offset < alB.End() && alB.Offset < alA.End() && !nested(alA, alB) {
+					t.Fatalf("live buffers overlap: node %d %+v [%d,%d] vs node %d %+v [%d,%d]",
+						a, alA, va.birth, va.death, b, alB, vb.birth, vb.death)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedRunBatchBitIdentical checks the fused plan through the batched
+// serving path (chunk workers + intra-op shards).
+func TestFusedRunBatchBitIdentical(t *testing.T) {
+	build := func() *graph.Graph { return nn.LeNet5(2, 11) }
+	fused, base := compileFusedPair(t, build, Options{Force: ImplIPE})
+	in := gaussianInput(tensor.Shape{8, 1, 28, 28}, 9)
+	want, err := base.RunBatch(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fused.RunBatch(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data() {
+		if got.Data()[i] != want.Data()[i] {
+			t.Fatalf("RunBatch output[%d] differs", i)
+		}
+	}
+}

@@ -68,6 +68,13 @@ type Options struct {
 	// Force pins every conv/dense operator to one implementation;
 	// ImplAuto (zero value) selects per operator by simulated cycles.
 	Force Impl
+	// Fuse turns on the graph-level scheduler: fused regions
+	// (conv→relu→pool, dense→relu) execute as single arena-resident
+	// passes with cache-sized tiles planned against HW.SRAMBytes, and
+	// single-consumer concat inputs write through into the concat's
+	// buffer. Results are bit-identical to the unfused plan; peak arena
+	// bytes and modeled DRAM traffic shrink (see DESIGN.md §10).
+	Fuse bool
 	// TuneDense auto-tunes the dense schedule per conv layer instead of
 	// using the default heuristic schedule.
 	TuneDense bool
@@ -120,6 +127,12 @@ type CompiledOp struct {
 	// Candidates maps every evaluated implementation to its modeled
 	// execution, for the per-layer reports.
 	Candidates map[Impl]accel.Result
+	// profiles holds the roofline kernel profile behind each candidate, so
+	// the fused scheduler can re-simulate a region with its DRAM traffic
+	// replaced by the tiled value. (The dense conv candidate's Sim comes
+	// from the schedule explorer; its entry here is the representative
+	// roofline profile.)
+	profiles map[Impl]accel.KernelProfile
 
 	ipeConv   *ipe.ConvLayer
 	ipeDense  *ipe.DenseLayer
@@ -143,6 +156,15 @@ type Plan struct {
 	Total accel.Result
 	Opts  Options
 
+	// Regions records the scheduler's decision for every fusible region of
+	// the graph (empty unless compiled with Options.Fuse). Spilled entries
+	// execute member-by-member; the rest execute as single fused steps.
+	Regions []*RegionPlan
+	// steps is the execution schedule NewExecutor walks: singleton operator
+	// steps interleaved with fused region steps, in topological order.
+	// Without Fuse it is exactly one singleton per op.
+	steps []planStep
+
 	// MetricsPrefix is prepended to layer names when executors register
 	// their metrics series (e.g. "lenet5/" so two plans in one process
 	// don't merge same-named layers). Set it before the first
@@ -154,19 +176,20 @@ type Plan struct {
 	executors sync.Pool
 }
 
-// Compile optimizes g in place, plans memory, builds every candidate
-// implementation for each conv/dense operator, simulates them on the
-// accelerator model, and selects per-operator winners.
+// Compile optimizes g in place, builds every candidate implementation for
+// each conv/dense operator, simulates them on the accelerator model,
+// selects per-operator winners, and then plans memory. Without Options.Fuse
+// the memory plan is the classic whole-tensor interval allocation; with it
+// the fused scheduler groups region chains into single steps, tiles their
+// interiors against SRAM, and write-through-retains concat inputs (memory
+// planning must therefore run after implementation selection, which decides
+// which regions tile).
 func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 	opts = opts.withDefaults()
 	if err := graph.Optimize(g); err != nil {
 		return nil, err
 	}
-	alloc, arenaBytes, err := PlanMemory(g)
-	if err != nil {
-		return nil, err
-	}
-	p := &Plan{Graph: g, Alloc: alloc, ArenaBytes: arenaBytes, Opts: opts}
+	p := &Plan{Graph: g, Opts: opts}
 	var nodes []*graph.Node
 	for _, n := range g.Topo() {
 		if n.Kind != graph.OpInput && n.Kind != graph.OpConst {
@@ -210,8 +233,27 @@ func Compile(g *graph.Graph, opts Options) (*Plan, error) {
 		}
 	}
 	p.Ops = ops
-	for i := range p.Ops {
-		p.Total.Accumulate(p.Ops[i].Sim)
+	if opts.Fuse {
+		if err := buildFusedPlan(p); err != nil {
+			return nil, err
+		}
+	} else {
+		alloc, arenaBytes, err := PlanMemory(g)
+		if err != nil {
+			return nil, err
+		}
+		p.Alloc, p.ArenaBytes = alloc, arenaBytes
+		p.steps = make([]planStep, len(p.Ops))
+		for i := range p.Ops {
+			p.steps[i] = planStep{op: &p.Ops[i]}
+		}
+	}
+	for _, s := range p.steps {
+		if s.region != nil {
+			p.Total.Accumulate(s.region.Sim)
+		} else {
+			p.Total.Accumulate(s.op.Sim)
+		}
 	}
 	return p, nil
 }
@@ -286,11 +328,16 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 	wl := schedule.Workload{Spec: spec, N: in[0], H: in[2], W: in[3]}
 	weight, bias := n.Param("weight"), n.Param("bias")
 
-	op := CompiledOp{Node: n, Candidates: make(map[Impl]accel.Result)}
+	op := CompiledOp{
+		Node:       n,
+		Candidates: make(map[Impl]accel.Result),
+		profiles:   make(map[Impl]accel.KernelProfile),
+	}
 
 	if wants(opts.Force, ImplDense) {
 		// Dense candidate (float weights, scheduled).
 		op.Candidates[ImplDense] = denseConvSim(wl, opts)
+		op.profiles[ImplDense] = accel.DenseConvProfile(spec, wl.N, wl.H, wl.W)
 	}
 	if wants(opts.Force, ImplCSR) {
 		csr, err := baseline.NewConvCSR(weight, bias, spec, opts.Bits, opts.Scheme)
@@ -298,8 +345,8 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 			return op, err
 		}
 		op.csrConv = csr
-		op.Candidates[ImplCSR] = opts.HW.Simulate(
-			accel.SparseConvProfile(spec, wl.N, wl.H, wl.W, csr.NNZ()))
+		op.profiles[ImplCSR] = accel.SparseConvProfile(spec, wl.N, wl.H, wl.W, csr.NNZ())
+		op.Candidates[ImplCSR] = opts.HW.Simulate(op.profiles[ImplCSR])
 	}
 	if wants(opts.Force, ImplFactorized) {
 		fact, err := baseline.NewConvFactorized(weight, bias, spec, opts.Bits, opts.Scheme)
@@ -311,8 +358,8 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 		for _, m := range fact.Mats {
 			factSyms += m.K
 		}
-		op.Candidates[ImplFactorized] = opts.HW.Simulate(
-			accel.FactorizedConvProfile(spec, wl.N, wl.H, wl.W, fact.Cost(), factSyms))
+		op.profiles[ImplFactorized] = accel.FactorizedConvProfile(spec, wl.N, wl.H, wl.W, fact.Cost(), factSyms)
+		op.Candidates[ImplFactorized] = opts.HW.Simulate(op.profiles[ImplFactorized])
 	}
 	if wants(opts.Force, ImplIPE) {
 		ipeL, _, err := ipe.EncodeConv(weight, bias, spec, opts.Bits, opts.Scheme, opts.IPE)
@@ -325,17 +372,19 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 			prog.Compiled()
 		}
 		op.ipeConv = ipeL
-		op.Candidates[ImplIPE] = opts.HW.Simulate(accel.IPEConvProfile(ipeL, wl.N, wl.H, wl.W))
+		op.profiles[ImplIPE] = accel.IPEConvProfile(ipeL, wl.N, wl.H, wl.W)
+		op.Candidates[ImplIPE] = opts.HW.Simulate(op.profiles[ImplIPE])
 	}
 	if wants(opts.Force, ImplWinograd) {
 		if win, err := baseline.NewConvWinograd(weight, bias, spec); err == nil {
 			op.winConv = win
-			op.Candidates[ImplWinograd] = opts.HW.Simulate(
-				accel.WinogradConvProfile(spec, wl.N, wl.H, wl.W, win.Cost(wl.N, wl.H, wl.W)))
+			op.profiles[ImplWinograd] = accel.WinogradConvProfile(spec, wl.N, wl.H, wl.W, win.Cost(wl.N, wl.H, wl.W))
+			op.Candidates[ImplWinograd] = opts.HW.Simulate(op.profiles[ImplWinograd])
 		} else if opts.Force == ImplWinograd {
 			// Winograd does not apply (kernel/stride/groups): fall back to
 			// the dense schedule so a forced-winograd plan stays runnable.
 			op.Candidates[ImplDense] = denseConvSim(wl, opts)
+			op.profiles[ImplDense] = accel.DenseConvProfile(spec, wl.N, wl.H, wl.W)
 		}
 	}
 	op.Impl = chooseImpl(op.Candidates, opts.Force)
@@ -347,7 +396,12 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 	weight, bias := n.Param("weight"), n.Param("bias")
 	m, k := weight.Dim(0), weight.Dim(1)
 	batch := n.Inputs[0].OutShape[0]
-	op := CompiledOp{Node: n, Candidates: make(map[Impl]accel.Result), denseBias: bias}
+	op := CompiledOp{
+		Node:       n,
+		Candidates: make(map[Impl]accel.Result),
+		profiles:   make(map[Impl]accel.KernelProfile),
+		denseBias:  bias,
+	}
 
 	scaleCost := func(c ipe.Cost) ipe.Cost {
 		c.Adds *= int64(batch)
@@ -366,22 +420,22 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 	if wants(opts.Force, ImplDense) || opts.Force == ImplWinograd {
 		// Winograd has no dense-FC form; a forced-winograd plan runs its
 		// fully connected layers dense.
-		op.Candidates[ImplDense] = opts.HW.Simulate(
-			toProfile("dense", scaleCost(ipe.DenseCost(m, k)), int64(m*k)*4))
+		op.profiles[ImplDense] = toProfile("dense", scaleCost(ipe.DenseCost(m, k)), int64(m*k)*4)
+		op.Candidates[ImplDense] = opts.HW.Simulate(op.profiles[ImplDense])
 	}
 	if wants(opts.Force, ImplCSR) || wants(opts.Force, ImplFactorized) {
 		q := quant.Quantize(weight, opts.Bits, opts.Scheme)
 		if wants(opts.Force, ImplCSR) {
 			csr := baseline.NewCSRFromQuantized(q)
 			op.csrDense = csr
-			op.Candidates[ImplCSR] = opts.HW.Simulate(
-				toProfile("csr", scaleCost(csr.Cost()), int64(csr.NNZ())*6))
+			op.profiles[ImplCSR] = toProfile("csr", scaleCost(csr.Cost()), int64(csr.NNZ())*6)
+			op.Candidates[ImplCSR] = opts.HW.Simulate(op.profiles[ImplCSR])
 		}
 		if wants(opts.Force, ImplFactorized) {
 			fact := baseline.NewFactorized(q)
 			op.factDense = fact
-			op.Candidates[ImplFactorized] = opts.HW.Simulate(
-				toProfile("factorized", scaleCost(fact.Cost()), fact.StreamSymbols()*2))
+			op.profiles[ImplFactorized] = toProfile("factorized", scaleCost(fact.Cost()), fact.StreamSymbols()*2)
+			op.Candidates[ImplFactorized] = opts.HW.Simulate(op.profiles[ImplFactorized])
 		}
 	}
 	if wants(opts.Force, ImplIPE) {
@@ -392,8 +446,8 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 		ipeL.Program.Compiled() // lower the serving form at plan time
 		op.ipeDense = ipeL
 		ic := ipeL.Program.Cost()
-		op.Candidates[ImplIPE] = opts.HW.Simulate(
-			toProfile("ipe", scaleCost(ic), ic.StreamSymbols*2+int64(ipeL.Program.DictSize())*4))
+		op.profiles[ImplIPE] = toProfile("ipe", scaleCost(ic), ic.StreamSymbols*2+int64(ipeL.Program.DictSize())*4)
+		op.Candidates[ImplIPE] = opts.HW.Simulate(op.profiles[ImplIPE])
 	}
 	op.Impl = chooseImpl(op.Candidates, opts.Force)
 	op.Sim = op.Candidates[op.Impl]
@@ -429,6 +483,7 @@ func compileGeneric(n *graph.Node, opts Options) CompiledOp {
 	return CompiledOp{
 		Node: n, Impl: ImplDense, Sim: sim,
 		Candidates: map[Impl]accel.Result{ImplDense: sim},
+		profiles:   map[Impl]accel.KernelProfile{ImplDense: prof},
 	}
 }
 

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// FuzzTilePlanner drives Plan with random conv/pool geometries and SRAM
+// budgets and checks the planner's two invariants with Verify: every
+// window's working set fits the budget, and the windows exactly cover the
+// pool output with all in-bounds taps inside their conv windows. "No legal
+// tile" is a valid outcome (the region spills); a plan that fails Verify
+// is a bug.
+func FuzzTilePlanner(f *testing.F) {
+	f.Add(1, 6, 5, 1, 0, 28, 28, 1, 2, 2, 0, 512, 1)
+	f.Add(3, 16, 3, 2, 1, 33, 17, 2, 3, 2, 1, 16, 2)
+	f.Add(4, 4, 1, 1, 0, 8, 8, 1, 2, 2, 2, 4, 1)
+	f.Fuzz(func(t *testing.T, inC, outC, k, stride, pad, inH, inW, batch,
+		poolK, poolS, poolP, sramKiB, groups int) {
+		clamp := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		inC = clamp(inC, 1, 16)
+		outC = clamp(outC, 1, 32)
+		groups = clamp(groups, 1, 4)
+		inC, outC = inC*groups, outC*groups
+		p := Problem{
+			Spec: tensor.ConvSpec{
+				InC: inC, OutC: outC,
+				KH: clamp(k, 1, 7), KW: clamp(k, 1, 7),
+				StrideH: clamp(stride, 1, 3), StrideW: clamp(stride, 1, 3),
+				PadH: clamp(pad, 0, 3), PadW: clamp(pad, 0, 3),
+				Groups: groups,
+			},
+			InH: clamp(inH, 1, 64), InW: clamp(inW, 1, 64),
+			Batch: clamp(batch, 1, 4),
+			Pool: graph.PoolAttrs{
+				KH: clamp(poolK, 1, 4), KW: clamp(poolK, 1, 4),
+				StrideH: clamp(poolS, 1, 4), StrideW: clamp(poolS, 1, 4),
+				PadH: clamp(poolP, 0, 2), PadW: clamp(poolP, 0, 2),
+			},
+		}
+		// Model a plausible resident-weight footprint for the spec.
+		p.WeightBytes = int64(p.Spec.WeightShape().NumElements()) * 4
+		if p.Validate() != nil {
+			t.Skip("degenerate geometry")
+		}
+		hw := accel.Default()
+		hw.SRAMBytes = int64(clamp(sramKiB, 1, 1024)) << 10
+		tp, err := Plan(p, hw)
+		if err != nil {
+			return // no legal tile: the region spills, nothing to verify
+		}
+		if err := p.Verify(tp, hw); err != nil {
+			t.Fatalf("plan violates invariants for %+v at %d bytes: %v", p, hw.SRAMBytes, err)
+		}
+		if tp.WorkingSetBytes > hw.SRAMBytes {
+			t.Fatalf("working set %d over budget %d", tp.WorkingSetBytes, hw.SRAMBytes)
+		}
+		if tp.FusedDRAMBytes <= 0 || tp.UnfusedDRAMBytes <= 0 {
+			t.Fatalf("non-positive DRAM model in %+v", tp)
+		}
+	})
+}

@@ -1,0 +1,348 @@
+// Package sched is the memory-aware tiling planner behind the graph-level
+// scheduler. Given a fused conv→(relu)→pool region and an accelerator
+// configuration, it picks a pool-output tile shape whose working set —
+// input halo window, resident weights or IPE instruction stream, conv
+// output tile and pool output tile — fits the scratchpad, minimizing the
+// modeled DRAM traffic of streaming the region tile by tile. The executor
+// then evaluates the conv tile into scratch and pools it directly into the
+// region's output buffer, so the full conv activation never exists.
+//
+// The planner is pure arithmetic over shapes: it never looks at tensor
+// data, so plans are deterministic and cheap enough to run at compile time
+// for every region. Tiles partition the pool output exactly; the conv
+// window backing a tile contains every in-bounds tap of its pool pixels by
+// construction, which is what keeps tiled execution bit-identical to the
+// unfused kernels (each output element sees the same taps in the same
+// order).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+const wordBytes = 4
+
+// Problem describes one conv→pool region to tile: the convolution head,
+// its input geometry, and the pool tail, plus the byte size of whatever
+// the head implementation keeps resident (dense weights, or the IPE
+// dictionary and index stream).
+type Problem struct {
+	// Spec is the head convolution (normalized by Validate).
+	Spec tensor.ConvSpec
+	// InH, InW are the conv input spatial dims; Batch the batch size.
+	InH, InW, Batch int
+	// Pool is the tail pooling geometry.
+	Pool graph.PoolAttrs
+	// WeightBytes is the head's resident parameter footprint in bytes.
+	WeightBytes int64
+}
+
+// Validate rejects degenerate problems (invalid conv spec, empty conv or
+// pool outputs, non-positive dims).
+func (p Problem) Validate() error {
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if p.InH <= 0 || p.InW <= 0 || p.Batch <= 0 {
+		return fmt.Errorf("sched: non-positive input dims %dx%d batch %d", p.InH, p.InW, p.Batch)
+	}
+	convOH, convOW := p.Spec.OutDims(p.InH, p.InW)
+	if convOH <= 0 || convOW <= 0 {
+		return fmt.Errorf("sched: empty conv output %dx%d", convOH, convOW)
+	}
+	q := p.Pool
+	if q.KH <= 0 || q.KW <= 0 || q.StrideH <= 0 || q.StrideW <= 0 || q.PadH < 0 || q.PadW < 0 {
+		return fmt.Errorf("sched: invalid pool attrs %+v", q)
+	}
+	if oh, ow := p.poolOutDims(); oh <= 0 || ow <= 0 {
+		return fmt.Errorf("sched: empty pool output %dx%d", oh, ow)
+	}
+	if p.WeightBytes < 0 {
+		return fmt.Errorf("sched: negative weight bytes %d", p.WeightBytes)
+	}
+	return nil
+}
+
+func (p Problem) convOutDims() (int, int) { return p.Spec.OutDims(p.InH, p.InW) }
+
+func (p Problem) poolOutDims() (int, int) {
+	convOH, convOW := p.convOutDims()
+	oh := (convOH+2*p.Pool.PadH-p.Pool.KH)/p.Pool.StrideH + 1
+	ow := (convOW+2*p.Pool.PadW-p.Pool.KW)/p.Pool.StrideW + 1
+	return oh, ow
+}
+
+// Window is one tile of a plan: a pool-output rectangle and the conv-output
+// rectangle that backs it (clamped to the conv dims; possibly empty when
+// the pool padding exceeds the kernel). Half-open on all sides.
+type Window struct {
+	PY0, PY1, PX0, PX1 int // pool-output rows/cols
+	CY0, CY1, CX0, CX1 int // conv-output rows/cols backing them
+}
+
+// PoolPixels returns the number of pool outputs the window covers.
+func (w Window) PoolPixels() int { return (w.PY1 - w.PY0) * (w.PX1 - w.PX0) }
+
+// ConvPixels returns the number of conv outputs the window materializes.
+func (w Window) ConvPixels() int { return (w.CY1 - w.CY0) * (w.CX1 - w.CX0) }
+
+// TilePlan is the planner's output for one region: the chosen pool-output
+// tile shape plus the modeled footprint and traffic that justified it.
+// Byte totals cover the whole batch.
+type TilePlan struct {
+	// TileOH, TileOW are the pool-output tile dims (edge tiles clamp).
+	TileOH, TileOW int
+	// PoolOH, PoolOW and ConvOH, ConvOW are the full output geometries.
+	PoolOH, PoolOW, ConvOH, ConvOW int
+	// TilesPerImage is the tile-grid size for one batch element.
+	TilesPerImage int
+	// TileFloats is the conv-tile scratch capacity the executor needs:
+	// OutC times the largest conv window of the grid.
+	TileFloats int
+	// WorkingSetBytes is the peak per-tile on-chip footprint: input halo
+	// + resident weights + conv tile + pool tile.
+	WorkingSetBytes int64
+	// FusedDRAMBytes models tiled execution: every tile's input halo
+	// streams in, weights are resident (cross once), and only the pool
+	// output streams out.
+	FusedDRAMBytes int64
+	// UnfusedDRAMBytes models the layer-by-layer execution of the same
+	// pair under the same constants: conv reads input + weights and
+	// writes its output; the pool reads it back and writes its own.
+	UnfusedDRAMBytes int64
+	// RetainedBytes is the conv activation the fused pass never
+	// materializes (batch × OutC × ConvOH × ConvOW × 4).
+	RetainedBytes int64
+}
+
+// Plan picks the tile shape for a problem: among power-of-two tile
+// candidates over the pool output (plus the full extents), keep those whose
+// working set fits hw.SRAMBytes and take the one with the least modeled
+// fused DRAM traffic, breaking ties toward larger tiles (fewer, bigger
+// windows re-read less halo and keep kernels wide). An error means no legal
+// tile exists and the region must spill to layer-by-layer execution.
+func Plan(p Problem, hw accel.Config) (TilePlan, error) {
+	if err := p.Validate(); err != nil {
+		return TilePlan{}, err
+	}
+	if hw.SRAMBytes <= 0 {
+		return TilePlan{}, fmt.Errorf("sched: non-positive SRAM budget %d", hw.SRAMBytes)
+	}
+	poolOH, poolOW := p.poolOutDims()
+	convOH, convOW := p.convOutDims()
+	best := TilePlan{}
+	found := false
+	for _, th := range tileOptions(poolOH) {
+		for _, tw := range tileOptions(poolOW) {
+			cand, ok := p.evaluate(th, tw, hw.SRAMBytes)
+			if !ok {
+				continue
+			}
+			if !found || better(cand, best) {
+				best, found = cand, true
+			}
+		}
+	}
+	if !found {
+		return TilePlan{}, fmt.Errorf("sched: no tile of the %dx%d pool output fits %d bytes (weights %d)",
+			poolOH, poolOW, hw.SRAMBytes, p.WeightBytes)
+	}
+	best.PoolOH, best.PoolOW = poolOH, poolOW
+	best.ConvOH, best.ConvOW = convOH, convOW
+	return best, nil
+}
+
+// better orders candidate plans: least fused DRAM, then larger tile area,
+// then taller tiles (a deterministic total order).
+func better(a, b TilePlan) bool {
+	if a.FusedDRAMBytes != b.FusedDRAMBytes {
+		return a.FusedDRAMBytes < b.FusedDRAMBytes
+	}
+	aa, ba := a.TileOH*a.TileOW, b.TileOH*b.TileOW
+	if aa != ba {
+		return aa > ba
+	}
+	return a.TileOH > b.TileOH
+}
+
+// evaluate models one tile-shape candidate, walking the whole tile grid so
+// edge clamping is exact, and reports whether it fits the budget.
+func (p Problem) evaluate(th, tw int, budget int64) (TilePlan, bool) {
+	spec := p.Spec.Normalize()
+	poolOH, poolOW := p.poolOutDims()
+	convOH, convOW := p.convOutDims()
+	var haloFloats, maxWS int64
+	maxTileFloats := 0
+	tiles := 0
+	for py := 0; py < poolOH; py += th {
+		for px := 0; px < poolOW; px += tw {
+			w := p.window(py, min(py+th, poolOH), px, min(px+tw, poolOW))
+			tiles++
+			// Input halo behind the conv window, clamped to the input.
+			iy0, iy1 := inputRange(w.CY0, w.CY1, spec.StrideH, spec.PadH, spec.KH, p.InH)
+			ix0, ix1 := inputRange(w.CX0, w.CX1, spec.StrideW, spec.PadW, spec.KW, p.InW)
+			inF := int64(spec.InC) * int64(iy1-iy0) * int64(ix1-ix0)
+			haloFloats += inF
+			convF := int64(spec.OutC) * int64(w.ConvPixels())
+			poolF := int64(spec.OutC) * int64(w.PoolPixels())
+			if tf := int(convF); tf > maxTileFloats {
+				maxTileFloats = tf
+			}
+			ws := (inF+convF+poolF)*wordBytes + p.WeightBytes
+			if ws > maxWS {
+				maxWS = ws
+			}
+		}
+	}
+	if maxWS > budget {
+		return TilePlan{}, false
+	}
+	batch := int64(p.Batch)
+	poolOutBytes := batch * int64(spec.OutC) * int64(poolOH) * int64(poolOW) * wordBytes
+	convOutBytes := batch * int64(spec.OutC) * int64(convOH) * int64(convOW) * wordBytes
+	inFullBytes := batch * int64(spec.InC) * int64(p.InH) * int64(p.InW) * wordBytes
+	return TilePlan{
+		TileOH:          th,
+		TileOW:          tw,
+		TilesPerImage:   tiles,
+		TileFloats:      maxTileFloats,
+		WorkingSetBytes: maxWS,
+		FusedDRAMBytes:  batch*haloFloats*wordBytes + p.WeightBytes + poolOutBytes,
+		UnfusedDRAMBytes: inFullBytes + p.WeightBytes + // conv pass
+			2*convOutBytes + poolOutBytes, // conv write + pool read, pool write
+		RetainedBytes: convOutBytes,
+	}, true
+}
+
+// window maps a pool-output rectangle to its Window, deriving the conv
+// rectangle that contains every in-bounds tap of the pool pixels.
+func (p Problem) window(py0, py1, px0, px1 int) Window {
+	convOH, convOW := p.convOutDims()
+	cy0, cy1 := tapRange(py0, py1, p.Pool.StrideH, p.Pool.PadH, p.Pool.KH, convOH)
+	cx0, cx1 := tapRange(px0, px1, p.Pool.StrideW, p.Pool.PadW, p.Pool.KW, convOW)
+	return Window{py0, py1, px0, px1, cy0, cy1, cx0, cx1}
+}
+
+// tapRange returns the half-open input range [lo, hi) that the output range
+// [o0, o1) of a windowed op (stride/pad/kernel) taps, clamped to [0, n).
+// The range may be empty when the padding swallows every tap.
+func tapRange(o0, o1, stride, pad, k, n int) (int, int) {
+	lo := o0*stride - pad
+	hi := (o1-1)*stride - pad + k
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n // every tap past the end: empty, pinned in bounds
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// inputRange is tapRange for the conv's input dimension.
+func inputRange(c0, c1, stride, pad, k, n int) (int, int) {
+	if c1 <= c0 {
+		return 0, 0
+	}
+	return tapRange(c0, c1, stride, pad, k, n)
+}
+
+// Windows enumerates the tile grid of a plan for one batch element, in
+// row-major tile order. The executor walks this list per image.
+func (p Problem) Windows(tp TilePlan) []Window {
+	poolOH, poolOW := p.poolOutDims()
+	out := make([]Window, 0, tp.TilesPerImage)
+	for py := 0; py < poolOH; py += tp.TileOH {
+		for px := 0; px < poolOW; px += tp.TileOW {
+			out = append(out, p.window(py, min(py+tp.TileOH, poolOH), px, min(px+tp.TileOW, poolOW)))
+		}
+	}
+	return out
+}
+
+// Verify checks a plan against its problem and budget: every window's
+// working set fits, windows exactly partition the pool output, conv
+// windows stay within the conv dims and contain every in-bounds tap of
+// their pool pixels. The fuzz target runs this on random problems.
+func (p Problem) Verify(tp TilePlan, hw accel.Config) error {
+	poolOH, poolOW := p.poolOutDims()
+	convOH, convOW := p.convOutDims()
+	ws := p.Windows(tp)
+	if len(ws) != tp.TilesPerImage {
+		return fmt.Errorf("sched: %d windows, plan says %d", len(ws), tp.TilesPerImage)
+	}
+	covered := make([]bool, poolOH*poolOW)
+	spec := p.Spec.Normalize()
+	for _, w := range ws {
+		if w.PY0 < 0 || w.PY1 > poolOH || w.PX0 < 0 || w.PX1 > poolOW || w.PY0 >= w.PY1 || w.PX0 >= w.PX1 {
+			return fmt.Errorf("sched: pool window %+v out of %dx%d", w, poolOH, poolOW)
+		}
+		if w.CY0 < 0 || w.CY1 > convOH || w.CX0 < 0 || w.CX1 > convOW || w.CY0 > w.CY1 || w.CX0 > w.CX1 {
+			return fmt.Errorf("sched: conv window %+v out of %dx%d", w, convOH, convOW)
+		}
+		if tf := spec.OutC * w.ConvPixels(); tf > tp.TileFloats {
+			return fmt.Errorf("sched: conv window %+v needs %d floats, plan allots %d", w, tf, tp.TileFloats)
+		}
+		for py := w.PY0; py < w.PY1; py++ {
+			for px := w.PX0; px < w.PX1; px++ {
+				if covered[py*poolOW+px] {
+					return fmt.Errorf("sched: pool output (%d,%d) covered twice", py, px)
+				}
+				covered[py*poolOW+px] = true
+				// Every in-bounds tap of this pool pixel must fall in
+				// the conv window.
+				for ky := 0; ky < p.Pool.KH; ky++ {
+					cy := py*p.Pool.StrideH - p.Pool.PadH + ky
+					if cy < 0 || cy >= convOH {
+						continue
+					}
+					if cy < w.CY0 || cy >= w.CY1 {
+						return fmt.Errorf("sched: tap row %d of pool (%d,%d) outside conv window %+v", cy, py, px, w)
+					}
+				}
+				for kx := 0; kx < p.Pool.KW; kx++ {
+					cx := px*p.Pool.StrideW - p.Pool.PadW + kx
+					if cx < 0 || cx >= convOW {
+						continue
+					}
+					if cx < w.CX0 || cx >= w.CX1 {
+						return fmt.Errorf("sched: tap col %d of pool (%d,%d) outside conv window %+v", cx, py, px, w)
+					}
+				}
+			}
+		}
+		iy0, iy1 := inputRange(w.CY0, w.CY1, spec.StrideH, spec.PadH, spec.KH, p.InH)
+		ix0, ix1 := inputRange(w.CX0, w.CX1, spec.StrideW, spec.PadW, spec.KW, p.InW)
+		inF := int64(spec.InC) * int64(iy1-iy0) * int64(ix1-ix0)
+		wsB := (inF + int64(spec.OutC)*int64(w.ConvPixels()) + int64(spec.OutC)*int64(w.PoolPixels())) * wordBytes
+		if wsB+p.WeightBytes > hw.SRAMBytes {
+			return fmt.Errorf("sched: window %+v working set %d + weights %d exceeds budget %d",
+				w, wsB, p.WeightBytes, hw.SRAMBytes)
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			return fmt.Errorf("sched: pool output (%d,%d) never covered", i/poolOW, i%poolOW)
+		}
+	}
+	return nil
+}
+
+// tileOptions returns the candidate tile extents for a dimension: powers of
+// two below it, plus the extent itself.
+func tileOptions(extent int) []int {
+	var out []int
+	for v := 1; v < extent; v *= 2 {
+		out = append(out, v)
+	}
+	return append(out, extent)
+}
