@@ -14,7 +14,7 @@ FUZZ_TARGETS := \
 	./internal/conformance:FuzzConformanceProgram \
 	./internal/conformance:FuzzConformanceGraph
 
-.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-json bench-json3 bench-check
+.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-json bench-json3 bench-check serve-smoke
 
 verify: build test race vet
 
@@ -83,3 +83,22 @@ bench-json3:
 bench-check:
 	$(GO) run ./cmd/inspire-perf -compiled -metrics -sched -quick > /tmp/bench_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json
+
+# End-to-end serving smoke: boot inspire-serve on an ephemeral port, fire a
+# short concurrent load at both models, and fail on any dropped (429) or
+# failed request. Exercises the full path (HTTP -> batcher -> RunBatch ->
+# metrics) in a few seconds; heavier runs are manual (see README).
+serve-smoke:
+	@set -e; \
+	dir=$$(mktemp -d /tmp/inspire-smoke.XXXXXX); \
+	trap 'rm -rf $$dir' EXIT; \
+	$(GO) build -o $$dir/inspire-serve ./cmd/inspire-serve; \
+	$(GO) build -o $$dir/inspire-load ./cmd/inspire-load; \
+	$$dir/inspire-serve -addr 127.0.0.1:0 -addrfile $$dir/addr & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
+	i=0; while [ $$i -lt 100 ] && ! [ -s $$dir/addr ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s $$dir/addr ] || { echo "serve-smoke: server never bound"; exit 1; }; \
+	addr=$$(cat $$dir/addr); \
+	$$dir/inspire-load -url http://$$addr -models lenet5,squeezenet \
+		-clients 32 -duration 3s -fail

@@ -1,0 +1,148 @@
+// Command inspire-serve is the network inference front end: it compiles the
+// evaluation models once, pools executors behind per-model dynamic
+// batchers, and serves JSON inference over HTTP with admission control.
+//
+//	inspire-serve                          # lenet5 + squeezenet on :8080
+//	inspire-serve -addr 127.0.0.1:0        # ephemeral port (printed on stdout)
+//	inspire-serve -models lenet5 -force ipe -fuse
+//	inspire-serve -max-batch 64 -slo 2ms -queue 4096
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness
+//	GET  /v1/models                  model listing (shapes, batcher limits)
+//	POST /v1/models/{model}/predict  {"data":[...],"shape":[...]} inference
+//	GET  /metrics                    live metrics.Snapshot JSON
+//
+// Responses: 200 on success, 400 on malformed input, 404 unknown model,
+// 429 when the admission queue is full (back off and retry), 503 while
+// draining during shutdown. SIGINT/SIGTERM drain admitted requests before
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts)")
+	models := flag.String("models", "lenet5,squeezenet", "comma-separated models to serve")
+	force := flag.String("force", "auto",
+		"implementation to pin every conv/dense layer to: auto, dense, csr, factorized, ipe, winograd")
+	bits := flag.Int("bits", 4, "weight quantization bit-width for encoded implementations")
+	fuse := flag.Bool("fuse", false, "compile with the graph-level scheduler (fusion + tiling)")
+	maxBatch := flag.Int("max-batch", 32, "flush a batch at this many compiled-batch chunks")
+	slo := flag.Duration("slo", 2*time.Millisecond, "max coalescing wait per request (0 = immediate flush)")
+	queue := flag.Int("queue", 4096, "admission queue depth per model (full queue = 429)")
+	workers := flag.Int("workers", 0, "RunBatch workers per flush (0 = GOMAXPROCS)")
+	inflight := flag.Int("inflight", 2, "concurrent RunBatch flushes per model")
+	flag.Parse()
+
+	impl, ok := map[string]runtime.Impl{
+		"auto": runtime.ImplAuto, "dense": runtime.ImplDense,
+		"csr": runtime.ImplCSR, "factorized": runtime.ImplFactorized,
+		"ipe": runtime.ImplIPE, "winograd": runtime.ImplWinograd,
+	}[*force]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "inspire-serve: unknown -force %q\n", *force)
+		os.Exit(2)
+	}
+
+	// Metrics first: batchers and executors resolve the recorder when built.
+	runtime.EnableMetrics()
+
+	want := make(map[string]bool)
+	for _, name := range strings.Split(*models, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	reg := serve.NewRegistry()
+	cfg := serve.Config{
+		MaxBatch:    *maxBatch,
+		SLO:         *slo,
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		MaxInFlight: *inflight,
+	}
+	opts := runtime.Options{Force: impl, Bits: *bits, Fuse: *fuse}
+	served := 0
+	for _, m := range obs.EvalModels() {
+		if !want[m.Name] {
+			continue
+		}
+		delete(want, m.Name)
+		plan, err := runtime.Compile(m.Graph, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-serve: compiling %s: %v\n", m.Name, err)
+			os.Exit(1)
+		}
+		if _, err := reg.Register(m.Name, plan, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("inspire-serve: %s compiled (force=%s fuse=%v, input %v)\n",
+			m.Name, *force, *fuse, plan.Graph.In.OutShape)
+		served++
+	}
+	if len(want) > 0 || served == 0 {
+		fmt.Fprintf(os.Stderr, "inspire-serve: unknown models %v (have lenet5, squeezenet)\n", want)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("inspire-serve: listening on %s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-serve: writing -addrfile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := &http.Server{Handler: serve.NewHandler(reg)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("inspire-serve: %v: draining\n", s)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Stop accepting connections, then drain the batchers so every admitted
+	// request completes before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "inspire-serve: shutdown: %v\n", err)
+	}
+	reg.Close()
+	fmt.Println("inspire-serve: drained, bye")
+}

@@ -10,15 +10,26 @@
 //	inspire-stats -model lenet5    # single model
 //	inspire-stats -json            # machine-readable metrics.Snapshot dump
 //	inspire-stats -runs 20         # more samples per layer series
+//
+// With -url it skips the local run and instead pulls the live snapshot from
+// a running inspire-serve instance's /metrics endpoint, adding the serving
+// table (per-endpoint admission counters, batch coalescing, QPS, latency
+// percentiles) above the usual layer/pool/executor breakdown:
+//
+//	inspire-stats -url http://127.0.0.1:8080
+//	inspire-stats -url http://127.0.0.1:8080 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/runtime"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -30,7 +41,18 @@ func main() {
 	runs := flag.Int("runs", 5, "inference runs per model (samples per layer series)")
 	model := flag.String("model", "", "restrict to one model: lenet5 or squeezenet (default both)")
 	jsonOut := flag.Bool("json", false, "dump the raw metrics.Snapshot as JSON instead of tables")
+	url := flag.String("url", "", "fetch the snapshot from a running inspire-serve's /metrics instead of running locally")
 	flag.Parse()
+
+	if *url != "" {
+		s, err := serve.FetchSnapshot(*url, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-stats: fetching %s/metrics: %v\n", *url, err)
+			os.Exit(1)
+		}
+		renderLive(s, *jsonOut)
+		return
+	}
 
 	impl, ok := map[string]runtime.Impl{
 		"auto": runtime.ImplAuto, "dense": runtime.ImplDense,
@@ -79,6 +101,27 @@ func main() {
 			fmt.Println()
 		}
 	}
+	obs.PoolTable(s).Fprint(os.Stdout)
+	fmt.Println()
+	obs.ExecTable(s).Fprint(os.Stdout)
+}
+
+// renderLive prints a snapshot fetched from a running server: the serving
+// endpoints first (that's what a live process adds over a local meter run),
+// then every layer series it has accumulated, then pool and executor
+// telemetry.
+func renderLive(s metrics.Snapshot, jsonOut bool) {
+	if jsonOut {
+		if err := s.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	obs.EndpointTable("serving endpoints", s).Fprint(os.Stdout)
+	fmt.Println()
+	obs.LayerTable("layers", s, "").Fprint(os.Stdout)
+	fmt.Println()
 	obs.PoolTable(s).Fprint(os.Stdout)
 	fmt.Println()
 	obs.ExecTable(s).Fprint(os.Stdout)

@@ -83,6 +83,9 @@ type Recorder struct {
 
 	regByName  map[string]*RegionStats
 	regOrdered []*RegionStats
+
+	epByName  map[string]*EndpointStats
+	epOrdered []*EndpointStats
 }
 
 // New builds an empty Recorder. Most callers use Enable instead, which
@@ -91,6 +94,7 @@ func New() *Recorder {
 	return &Recorder{
 		byName:    make(map[string]*LayerStats),
 		regByName: make(map[string]*RegionStats),
+		epByName:  make(map[string]*EndpointStats),
 	}
 }
 
@@ -166,6 +170,98 @@ func (r *Recorder) Region(name string) *RegionStats {
 	r.regByName[name] = s
 	r.regOrdered = append(r.regOrdered, s)
 	return s
+}
+
+// Endpoint returns the named serving-endpoint series, creating it on first
+// use. Registration is the cold path (batcher construction); the returned
+// handle records with atomics only, so the serving hot path captures it once
+// and never resolves the recorder again (one request's series can therefore
+// never split across an Enable/Disable swap).
+func (r *Recorder) Endpoint(name string) *EndpointStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.epByName[name]; ok {
+		return s
+	}
+	s := &EndpointStats{name: name}
+	r.epByName[name] = s
+	r.epOrdered = append(r.epOrdered, s)
+	return s
+}
+
+// EndpointStats aggregates one serving endpoint's traffic: completed and
+// rejected requests, dispatched batches and the chunk counts they coalesced,
+// queue-depth extents, and the end-to-end request latency histogram. The
+// QPS window runs from the first to the last completed request. All methods
+// are atomic and nil-safe, so the serving path holds a possibly-nil handle
+// and records unconditionally.
+type EndpointStats struct {
+	name string
+
+	// Requests counts completed (successful) requests; Errors counts
+	// requests that reached execution and failed there.
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	// RejectedOverload counts admissions refused because the bounded queue
+	// was full (HTTP 429); RejectedClosed counts submissions after shutdown
+	// began (HTTP 503).
+	RejectedOverload atomic.Int64
+	RejectedClosed   atomic.Int64
+	// Flushes counts dispatched batches; Items counts the compiled-batch
+	// chunks those flushes carried (Items/Flushes = mean coalesced batch).
+	Flushes atomic.Int64
+	Items   atomic.Int64
+
+	batchMax atomic.Int64
+	queueMax atomic.Int64
+	firstNs  atomic.Int64 // unix nanos of the first completed request (0 = none)
+	lastNs   atomic.Int64
+
+	// Lat is the end-to-end request latency (submit to result, including
+	// queueing and coalescing wait).
+	Lat Hist
+}
+
+// Name returns the endpoint's registration name.
+func (s *EndpointStats) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// RecordRequest logs one completed request: its end-to-end latency and the
+// wall-clock completion time in unix nanoseconds (bounds the QPS window).
+func (s *EndpointStats) RecordRequest(latNs, nowUnixNs int64) {
+	if s == nil {
+		return
+	}
+	s.Requests.Add(1)
+	s.Lat.Observe(latNs)
+	atomicMinNZ(&s.firstNs, nowUnixNs)
+	atomicMax(&s.lastNs, nowUnixNs)
+}
+
+// RecordFlush logs one dispatched batch carrying items compiled-batch
+// chunks.
+func (s *EndpointStats) RecordFlush(items int) {
+	if s == nil {
+		return
+	}
+	s.Flushes.Add(1)
+	s.Items.Add(int64(items))
+	atomicMax(&s.batchMax, int64(items))
+}
+
+// ObserveQueueDepth raises the queue-depth high-water mark.
+func (s *EndpointStats) ObserveQueueDepth(depth int) {
+	if s == nil {
+		return
+	}
+	atomicMax(&s.queueMax, int64(depth))
 }
 
 // RegionStats aggregates one fused region's executions and the scheduler's

@@ -261,3 +261,81 @@ func BenchmarkEnabledCount(b *testing.B) {
 		Count(KernelDirect)
 	}
 }
+
+// TestEndpointRecordSnapshot exercises the serving-endpoint series: request
+// and rejection accounting, batch-coalescing evidence (mean batch), queue
+// extents, and the QPS window.
+func TestEndpointRecordSnapshot(t *testing.T) {
+	r := New()
+	ep := r.Endpoint("lenet5")
+	if r.Endpoint("lenet5") != ep {
+		t.Fatal("Endpoint not memoized by name")
+	}
+	base := int64(1_000_000_000)
+	ep.RecordRequest(1000, base)
+	ep.RecordRequest(3000, base+2e9) // 3 requests over 4 s -> 0.5 QPS
+	ep.RecordRequest(2000, base+4e9)
+	ep.RecordFlush(1)
+	ep.RecordFlush(2)
+	ep.ObserveQueueDepth(3)
+	ep.ObserveQueueDepth(1)
+	ep.RejectedOverload.Add(2)
+	ep.RejectedClosed.Add(1)
+	ep.Errors.Add(1)
+
+	s := r.Snapshot()
+	if len(s.Endpoints) != 1 {
+		t.Fatalf("endpoints = %+v", s.Endpoints)
+	}
+	e := s.Endpoints[0]
+	if e.Name != "lenet5" || e.Requests != 3 || e.Errors != 1 {
+		t.Errorf("identity/counts = %+v", e)
+	}
+	if e.RejectedOverload != 2 || e.RejectedClosed != 1 {
+		t.Errorf("rejects = %+v", e)
+	}
+	if e.Flushes != 2 || e.Items != 3 || e.MeanBatch != 1.5 || e.MaxBatch != 2 {
+		t.Errorf("batching = %+v", e)
+	}
+	if e.QueueMax != 3 {
+		t.Errorf("queue max = %d", e.QueueMax)
+	}
+	if e.Latency.Count != 3 || e.Latency.MaxNs != 3000 {
+		t.Errorf("latency = %+v", e.Latency)
+	}
+	if e.QPS < 0.49 || e.QPS > 0.51 {
+		t.Errorf("qps = %v, want 0.5", e.QPS)
+	}
+
+	// JSON round trip keeps the endpoint section.
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Endpoints) != 1 || back.Endpoints[0].MeanBatch != 1.5 {
+		t.Errorf("round-trip endpoints = %+v", back.Endpoints)
+	}
+}
+
+// TestEndpointNilSafety checks the nil-receiver contract the serving path
+// relies on (a batcher built with metrics disabled holds a nil handle).
+func TestEndpointNilSafety(t *testing.T) {
+	var r *Recorder
+	if ep := r.Endpoint("x"); ep != nil {
+		t.Fatalf("nil recorder Endpoint = %v", ep)
+	}
+	var ep *EndpointStats
+	ep.RecordRequest(10, 20)
+	ep.RecordFlush(4)
+	ep.ObserveQueueDepth(9)
+	if ep.Name() != "" {
+		t.Error("nil EndpointStats name")
+	}
+	if snap := ep.Snapshot(); snap.Requests != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}

@@ -37,6 +37,26 @@ type RegionSnapshot struct {
 	UnfusedDRAMBytes int64  `json:"unfused_dram_bytes"`
 }
 
+// EndpointSnapshot is the point-in-time view of one serving endpoint: the
+// admission counters, batch-coalescing evidence (MeanBatch > 1 means the
+// dynamic batcher merged concurrent requests), queue extents, the
+// end-to-end latency distribution, and the mean QPS over the window from
+// the first to the last completed request.
+type EndpointSnapshot struct {
+	Name             string       `json:"name"`
+	Requests         int64        `json:"requests"`
+	Errors           int64        `json:"errors,omitempty"`
+	RejectedOverload int64        `json:"rejected_overload,omitempty"`
+	RejectedClosed   int64        `json:"rejected_closed,omitempty"`
+	Flushes          int64        `json:"flushes"`
+	Items            int64        `json:"items"`
+	MeanBatch        float64      `json:"mean_batch"`
+	MaxBatch         int64        `json:"max_batch"`
+	QueueMax         int64        `json:"queue_max"`
+	QPS              float64      `json:"qps"`
+	Latency          HistSnapshot `json:"latency"`
+}
+
 // PoolSnapshot is the point-in-time view of the worker-pool telemetry.
 type PoolSnapshot struct {
 	Submitted       int64   `json:"submitted"`
@@ -72,7 +92,10 @@ type Snapshot struct {
 	// Regions lists the fused-region series (empty unless a plan compiled
 	// with the graph scheduler registered executors).
 	Regions []RegionSnapshot `json:"regions,omitempty"`
-	Kernels map[string]int64 `json:"kernel_dispatches"`
+	// Endpoints lists the serving-endpoint series (empty unless a serve
+	// batcher registered traffic).
+	Endpoints []EndpointSnapshot `json:"endpoints,omitempty"`
+	Kernels   map[string]int64   `json:"kernel_dispatches"`
 	Pool    PoolSnapshot     `json:"pool"`
 	Exec    ExecSnapshot     `json:"executor"`
 }
@@ -89,6 +112,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	r.mu.Lock()
 	layers := append([]*LayerStats(nil), r.ordered...)
 	regions := append([]*RegionStats(nil), r.regOrdered...)
+	endpoints := append([]*EndpointStats(nil), r.epOrdered...)
 	r.mu.Unlock()
 	s.Layers = make([]LayerSnapshot, 0, len(layers))
 	for _, l := range layers {
@@ -96,6 +120,9 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	for _, reg := range regions {
 		s.Regions = append(s.Regions, reg.Snapshot())
+	}
+	for _, ep := range endpoints {
+		s.Endpoints = append(s.Endpoints, ep.Snapshot())
 	}
 	s.Kernels = make(map[string]int64)
 	for k := Kernel(0); k < KernelCount; k++ {
@@ -158,6 +185,31 @@ func (s *RegionStats) Snapshot() RegionSnapshot {
 	snap.SpilledBytes = s.spilledBytes.Load()
 	snap.FusedDRAMBytes = s.fusedDRAMBytes.Load()
 	snap.UnfusedDRAMBytes = s.unfusedDRAMBytes.Load()
+	return snap
+}
+
+// Snapshot captures one endpoint series.
+func (s *EndpointStats) Snapshot() EndpointSnapshot {
+	var snap EndpointSnapshot
+	if s == nil {
+		return snap
+	}
+	snap.Name = s.name
+	snap.Requests = s.Requests.Load()
+	snap.Errors = s.Errors.Load()
+	snap.RejectedOverload = s.RejectedOverload.Load()
+	snap.RejectedClosed = s.RejectedClosed.Load()
+	snap.Flushes = s.Flushes.Load()
+	snap.Items = s.Items.Load()
+	if snap.Flushes > 0 {
+		snap.MeanBatch = float64(snap.Items) / float64(snap.Flushes)
+	}
+	snap.MaxBatch = s.batchMax.Load()
+	snap.QueueMax = s.queueMax.Load()
+	snap.Latency = s.Lat.Snapshot()
+	if first, last := s.firstNs.Load(), s.lastNs.Load(); snap.Requests > 1 && last > first {
+		snap.QPS = float64(snap.Requests-1) / (float64(last-first) / 1e9)
+	}
 	return snap
 }
 

@@ -144,6 +144,36 @@ func PoolTable(s metrics.Snapshot) *report.Table {
 	return t
 }
 
+// EndpointTable renders the serving-endpoint telemetry: request admission
+// outcomes, batch coalescing evidence (flush count and mean/max coalesced
+// batch), admission-queue high water, sustained request rate, and the
+// request latency distribution. Snapshots from processes that never served
+// (no endpoints registered) render a header-only table.
+func EndpointTable(title string, s metrics.Snapshot) *report.Table {
+	t := report.NewTable(title,
+		"endpoint", "requests", "errors", "429", "closed", "flushes",
+		"mean batch", "max batch", "queue max", "qps",
+		"p50 ns", "p99 ns", "max ns")
+	for _, ep := range s.Endpoints {
+		t.AddRow(
+			ep.Name,
+			report.Count(ep.Requests),
+			report.Count(ep.Errors),
+			report.Count(ep.RejectedOverload),
+			report.Count(ep.RejectedClosed),
+			report.Count(ep.Flushes),
+			report.Num(ep.MeanBatch),
+			report.Count(ep.MaxBatch),
+			report.Count(ep.QueueMax),
+			report.Num(ep.QPS),
+			report.Count(ep.Latency.P50Ns),
+			report.Count(ep.Latency.P99Ns),
+			report.Count(ep.Latency.MaxNs),
+		)
+	}
+	return t
+}
+
 // ExecTable renders the executor/arena telemetry: pooling behavior, run
 // counts, arena residency, the largest single plan arena built (the
 // high-water mark the fused scheduler shrinks), and the kernel-scratch

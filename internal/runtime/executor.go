@@ -76,11 +76,17 @@ type regionExec struct {
 // no maps and allocates nothing. It panics if the plan lacks an allocation
 // for an operator (impossible for plans built by Compile).
 func (p *Plan) NewExecutor() *Executor {
+	return p.newExecutor(metrics.Get())
+}
+
+// newExecutor is NewExecutor against a caller-captured recorder, so a
+// pool-miss build inside acquireExecutor stays on the request's recorder.
+func (p *Plan) newExecutor(rec *metrics.Recorder) *Executor {
 	e := &Executor{
 		plan:  p,
 		arena: make([]float32, p.ArenaBytes/4),
 		par:   tensor.NewPar(parallel.Shared(), 0), // default GOMAXPROCS shards
-		rec:   metrics.Get(),
+		rec:   rec,
 	}
 	if e.rec != nil {
 		e.rec.Exec.Builds.Add(1)
@@ -465,7 +471,14 @@ func addBiasRows(od []float32, bias *tensor.Tensor, n, m int) {
 // one if the pool is empty. Return it with ReleaseExecutor when done. This
 // is the serving-path API: compile once, pool executors, run many.
 func (p *Plan) AcquireExecutor() *Executor {
-	rec := metrics.Get()
+	return p.acquireExecutor(metrics.Get())
+}
+
+// acquireExecutor is AcquireExecutor against a caller-captured recorder, so
+// paths that check out and return an executor within one request (RunBatch,
+// the serve batcher) keep both sides of the accounting on the same recorder
+// even if the process-wide recorder is swapped mid-request.
+func (p *Plan) acquireExecutor(rec *metrics.Recorder) *Executor {
 	if rec != nil {
 		rec.Exec.Acquires.Add(1)
 	}
@@ -475,7 +488,7 @@ func (p *Plan) AcquireExecutor() *Executor {
 		}
 		return v.(*Executor)
 	}
-	return p.NewExecutor()
+	return p.newExecutor(rec)
 }
 
 // ReleaseExecutor returns an Executor to the plan's pool for reuse,
@@ -483,10 +496,16 @@ func (p *Plan) AcquireExecutor() *Executor {
 // known setting. The caller must not use the executor (or tensors returned
 // by its Run) after release.
 func (p *Plan) ReleaseExecutor(e *Executor) {
+	p.releaseExecutor(e, metrics.Get())
+}
+
+// releaseExecutor is ReleaseExecutor against a caller-captured recorder
+// (see acquireExecutor).
+func (p *Plan) releaseExecutor(e *Executor, rec *metrics.Recorder) {
 	if e == nil || e.plan != p {
 		return
 	}
-	if rec := metrics.Get(); rec != nil {
+	if rec != nil {
 		rec.Exec.Releases.Add(1)
 	}
 	e.SetParallelism(0)

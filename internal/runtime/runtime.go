@@ -4,6 +4,7 @@ import (
 	"fmt"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/autotune"
@@ -546,7 +547,17 @@ func (p *Plan) ImplCounts() map[Impl]int {
 // executor gets GOMAXPROCS/workers shards (at least 1), and all helpers
 // come from one process-wide bounded pool, so the two levels never
 // oversubscribe the machine.
+//
+// Error semantics: the first chunk failure cancels the batch — the feeder
+// stops dispatching, already-queued chunks are drained without executing,
+// and after every in-flight chunk settles the error of the lowest-index
+// failed chunk is returned, wrapped with that chunk's index. The partial
+// result is discarded. Metrics accounting (batch counters and the
+// executor checkout pairs) goes through one recorder captured at entry, so
+// a concurrent metrics.Disable/Enable swap can never split one request's
+// series across two recorders.
 func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	rec := metrics.Get() // captured once: all accounting for this request lands on one recorder
 	inShape := p.Graph.In.OutShape
 	if input.Shape().Rank() != inShape.Rank() {
 		return nil, fmt.Errorf("runtime: input rank %d != compiled input %v", input.Shape().Rank(), inShape)
@@ -566,10 +577,6 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 		return nil, fmt.Errorf("runtime: batch %d is not a multiple of the compiled batch %d", total, compiled)
 	}
 	chunks := total / compiled
-	if rec := metrics.Get(); rec != nil {
-		rec.Exec.Batches.Add(1)
-		rec.Exec.BatchItems.Add(int64(chunks))
-	}
 	perChunk := input.NumElements() / chunks
 	if workers <= 0 {
 		workers = goruntime.GOMAXPROCS(0)
@@ -581,43 +588,79 @@ func (p *Plan) RunBatch(input *tensor.Tensor, workers int) (*tensor.Tensor, erro
 	if intraShards < 1 {
 		intraShards = 1
 	}
+	// Record only after validation and clamping: rejected inputs never
+	// count as dispatched batches.
+	if rec != nil {
+		rec.Exec.Batches.Add(1)
+		rec.Exec.BatchItems.Add(int64(chunks))
+	}
 	outShape := p.Graph.Out.OutShape.Clone()
 	outShape[0] *= chunks
 	result := tensor.New(outShape...)
 	perOut := result.NumElements() / chunks
 	errs := make([]error, chunks)
+	var failed atomic.Bool
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := p.AcquireExecutor()
-			defer p.ReleaseExecutor(e)
+			e := p.acquireExecutor(rec)
+			defer p.releaseExecutor(e, rec)
 			e.SetParallelism(intraShards)
 			for i := range next {
+				if failed.Load() {
+					continue // cancelled: drain without executing
+				}
+				if h := runBatchChunkHook; h != nil {
+					if err := h(i); err != nil {
+						errs[i] = err
+						failed.Store(true)
+						continue
+					}
+				}
 				chunk := tensor.From(input.Data()[i*perChunk:(i+1)*perChunk], inShape...)
 				out, err := e.Run(chunk)
 				if err != nil {
 					errs[i] = err
+					failed.Store(true)
 					continue
 				}
 				copy(result.Data()[i*perOut:(i+1)*perOut], out.Data())
 			}
 		}()
 	}
-	for i := 0; i < chunks; i++ {
+	dispatched := 0
+	for i := 0; i < chunks && !failed.Load(); i++ {
 		next <- i
+		dispatched++
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
+	if testRunBatchDispatched != nil {
+		*testRunBatchDispatched = dispatched
+	}
+	// Chunks execute concurrently, so several may have failed; report the
+	// lowest-index failure so the error is deterministic for a given set of
+	// failing chunks, not an artifact of worker timing.
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("runtime: batch chunk %d: %w", i, err)
 		}
 	}
 	return result, nil
 }
+
+// runBatchChunkHook, when non-nil, runs before each chunk executes and can
+// inject a per-chunk failure. Test-only (executor runs cannot be made to
+// fail from outside once validation passed); nil in production, costing one
+// predictable branch per chunk.
+var runBatchChunkHook func(chunk int) error
+
+// testRunBatchDispatched, when non-nil, receives the number of chunks the
+// feeder dispatched before stopping. Test-only.
+var testRunBatchDispatched *int
 
 // Describe renders the plan as a report table: one row per conv/dense
 // operator with its chosen implementation and modeled execution, plus a

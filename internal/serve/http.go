@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// PredictRequest is the JSON inference request body. Shape defaults to the
+// model's compiled input shape; a request batching k items sends shape with
+// dim 0 = k × compiled batch.
+type PredictRequest struct {
+	Shape []int     `json:"shape,omitempty"`
+	Data  []float32 `json:"data"`
+}
+
+// PredictResponse is the JSON inference response body.
+type PredictResponse struct {
+	Shape     []int     `json:"shape"`
+	Data      []float32 `json:"data"`
+	LatencyNs int64     `json:"latency_ns"`
+}
+
+// ModelInfo describes one served model in the /v1/models listing.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	InputShape  []int  `json:"input_shape"`
+	OutputShape []int  `json:"output_shape"`
+	MaxBatch    int    `json:"max_batch"`
+	SLONs       int64  `json:"slo_ns"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the serving mux over the registry:
+//
+//	GET  /healthz                   liveness probe
+//	GET  /v1/models                 model listing with shapes
+//	POST /v1/models/{model}/predict JSON inference through the batcher
+//	GET  /metrics                   live metrics.Snapshot JSON (the same
+//	                                schema inspire-stats -json emits)
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
+		infos := make([]ModelInfo, 0)
+		for _, name := range reg.Names() {
+			m, _ := reg.Get(name)
+			cfg := m.Batcher.cfg
+			infos = append(infos, ModelInfo{
+				Name:        name,
+				InputShape:  m.Plan.Graph.In.OutShape,
+				OutputShape: m.Plan.Graph.Out.OutShape,
+				MaxBatch:    cfg.MaxBatch,
+				SLONs:       cfg.SLO.Nanoseconds(),
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+	})
+	mux.HandleFunc("POST /v1/models/{model}/predict", func(w http.ResponseWriter, r *http.Request) {
+		handlePredict(reg, w, r)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		metrics.Capture().WriteJSON(w)
+	})
+	return mux
+}
+
+func handlePredict(reg *Registry, w http.ResponseWriter, r *http.Request) {
+	m, ok := reg.Get(r.PathValue("model"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown model"})
+		return
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	shape := req.Shape
+	if len(shape) == 0 {
+		shape = m.Plan.Graph.In.OutShape
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "non-positive dimension in shape"})
+			return
+		}
+		n *= d
+	}
+	if n != len(req.Data) {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: "data length does not match shape"})
+		return
+	}
+
+	input := tensor.From(req.Data, shape...)
+	start := time.Now()
+	out, err := m.Batcher.Submit(input)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		case isValidationError(err):
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Shape:     out.Shape(),
+		Data:      out.Data(),
+		LatencyNs: time.Since(start).Nanoseconds(),
+	})
+}
+
+// isValidationError distinguishes Submit's shape-validation failures (the
+// caller's fault: 400) from execution failures (ours: 500).
+func isValidationError(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "does not match compiled input") ||
+		strings.Contains(s, "not a multiple") ||
+		strings.Contains(s, "input rank")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

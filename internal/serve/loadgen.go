@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// LoadConfig drives one load-generation run against a running
+// inspire-serve instance.
+type LoadConfig struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Model is the endpoint to drive.
+	Model string
+	// Clients is the number of concurrent closed-loop clients (each keeps
+	// exactly one request in flight).
+	Clients int
+	// Duration is how long the clients fire for.
+	Duration time.Duration
+	// Items is the request batch size in compiled-batch chunks (default 1).
+	Items int
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadReport aggregates one run: client-side status counts and exact
+// latency percentiles, plus the server-side endpoint snapshot (batch
+// coalescing evidence) fetched from /metrics after the run.
+type LoadReport struct {
+	Model    string        `json:"model"`
+	Clients  int           `json:"clients"`
+	Duration time.Duration `json:"duration_ns"`
+
+	Requests int64         `json:"requests"`
+	OK       int64         `json:"ok"`
+	Dropped  int64         `json:"dropped_429"`
+	Failed   int64         `json:"failed"` // non-2xx other than 429, plus transport errors
+	QPS      float64       `json:"qps"`
+	MeanLat  time.Duration `json:"mean_latency_ns"`
+	P50      time.Duration `json:"p50_ns"`
+	P90      time.Duration `json:"p90_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	MaxLat   time.Duration `json:"max_latency_ns"`
+
+	// Endpoint is the server's view of this endpoint after the run (zero
+	// value if /metrics was unreachable).
+	Endpoint metrics.EndpointSnapshot `json:"endpoint"`
+}
+
+// RunLoad executes the load run: it discovers the model's input shape from
+// /v1/models, builds one deterministic payload, fires Clients closed-loop
+// workers for Duration, and aggregates exact percentiles over every
+// completed request.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Items <= 0 {
+		cfg.Items = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	info, err := fetchModelInfo(cfg.URL, cfg.Model, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	shape := append([]int(nil), info.InputShape...)
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("serve: model %s reports no input shape", cfg.Model)
+	}
+	shape[0] *= cfg.Items
+	in := tensor.New(shape...)
+	tensor.FillGaussian(in, tensor.NewRNG(7), 1)
+	body, err := json.Marshal(PredictRequest{Shape: shape, Data: in.Data()})
+	if err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/v1/models/%s/predict", cfg.URL, cfg.Model)
+
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients,
+			MaxIdleConnsPerHost: cfg.Clients,
+		},
+	}
+
+	var ok, dropped, failed atomic.Int64
+	lats := make([][]time.Duration, cfg.Clients)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				status, err := postOnce(client, url, body)
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					failed.Add(1)
+				case status == http.StatusTooManyRequests:
+					dropped.Add(1)
+				case status >= 200 && status < 300:
+					ok.Add(1)
+					lats[c] = append(lats[c], lat)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := &LoadReport{
+		Model:    cfg.Model,
+		Clients:  cfg.Clients,
+		Duration: elapsed,
+		OK:       ok.Load(),
+		Dropped:  dropped.Load(),
+		Failed:   failed.Load(),
+	}
+	rep.Requests = rep.OK + rep.Dropped + rep.Failed
+	if elapsed > 0 {
+		rep.QPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	if n := len(all); n > 0 {
+		var sum time.Duration
+		for _, l := range all {
+			sum += l
+		}
+		rep.MeanLat = sum / time.Duration(n)
+		rep.P50 = all[n*50/100]
+		rep.P90 = all[min(n*90/100, n-1)]
+		rep.P99 = all[min(n*99/100, n-1)]
+		rep.MaxLat = all[n-1]
+	}
+	if snap, err := FetchSnapshot(cfg.URL, cfg.Timeout); err == nil {
+		for _, ep := range snap.Endpoints {
+			if ep.Name == cfg.Model {
+				rep.Endpoint = ep
+			}
+		}
+	}
+	return rep, nil
+}
+
+func postOnce(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection goes back to the keep-alive pool.
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// fetchModelInfo pulls /v1/models and returns the named model's entry.
+func fetchModelInfo(base, model string, timeout time.Duration) (*ModelInfo, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(base + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("serve: listing models: %w", err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return nil, fmt.Errorf("serve: decoding model listing: %w", err)
+	}
+	for i := range listing.Models {
+		if listing.Models[i].Name == model {
+			return &listing.Models[i], nil
+		}
+	}
+	return nil, fmt.Errorf("serve: model %q not served (have %v)", model, listing.Models)
+}
+
+// FetchSnapshot pulls the live metrics.Snapshot from a running server's
+// /metrics endpoint (the same schema inspire-stats -json emits).
+func FetchSnapshot(base string, timeout time.Duration) (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}

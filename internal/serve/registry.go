@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/runtime"
+)
+
+// Model is one served network: its name (the endpoint path segment and
+// metrics prefix), the compiled plan, and the dynamic batcher in front of
+// it.
+type Model struct {
+	Name    string
+	Plan    *runtime.Plan
+	Batcher *Batcher
+}
+
+// Registry maps model names to served models. Registration happens at
+// startup; lookups are concurrent with serving.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Model
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Model)}
+}
+
+// Register starts a batcher for plan under name and adds it to the
+// registry. The plan's MetricsPrefix is set to "name/" (if unset) so its
+// layer series stay distinguishable when several models share a process.
+func (r *Registry) Register(name string, plan *runtime.Plan, cfg Config) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	if plan.MetricsPrefix == "" {
+		plan.MetricsPrefix = name + "/"
+	}
+	m := &Model{Name: name, Plan: plan, Batcher: NewBatcher(name, plan, cfg)}
+	r.byName[name] = m
+	return m, nil
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byName[name]
+	return m, ok
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close shuts every batcher down, draining admitted requests first.
+func (r *Registry) Close() {
+	r.mu.RLock()
+	models := make([]*Model, 0, len(r.byName))
+	for _, m := range r.byName {
+		models = append(models, m)
+	}
+	r.mu.RUnlock()
+	for _, m := range models {
+		m.Batcher.Close()
+	}
+}
