@@ -12,9 +12,10 @@ FUZZ_TARGETS := \
 	./internal/conformance:FuzzConformanceConv \
 	./internal/conformance:FuzzConformanceDense \
 	./internal/conformance:FuzzConformanceProgram \
-	./internal/conformance:FuzzConformanceGraph
+	./internal/conformance:FuzzConformanceGraph \
+	./internal/autotune:FuzzStoreDecode
 
-.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-json bench-json3 bench-check serve-smoke
+.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-json bench-json3 bench-check serve-smoke autotune-sim
 
 verify: build test race vet
 
@@ -83,6 +84,14 @@ bench-json3:
 bench-check:
 	$(GO) run ./cmd/inspire-perf -compiled -metrics -sched -quick > /tmp/bench_current.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json
+
+# Deterministic online-autotuner suite under the race detector: the bandit
+# simulations (stable winner / regime shift / noisy near-tie over the fixed
+# seed matrix), the tuning-cache robustness tests, and the live-plan routing
+# integration test. Everything is seeded, so a failure reproduces exactly.
+autotune-sim:
+	$(GO) test -race -count=1 -run 'TestSim|TestStore|FuzzStoreDecode|TestTun|TestStartTuner' \
+		./internal/autotune ./internal/runtime
 
 # End-to-end serving smoke: boot inspire-serve on an ephemeral port, fire a
 # short concurrent load at both models, and fail on any dropped (429) or

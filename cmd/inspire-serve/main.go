@@ -6,6 +6,14 @@
 //	inspire-serve -addr 127.0.0.1:0        # ephemeral port (printed on stdout)
 //	inspire-serve -models lenet5 -force ipe -fuse
 //	inspire-serve -max-batch 64 -slo 2ms -queue 4096
+//	inspire-serve -autotune -tune-cache tuning.json
+//
+// With -autotune (auto impl selection only) each model's plan is seeded from
+// the -tune-cache file, an online bandit routes a small exploration fraction
+// of live traffic through alternate kernel implementations, promotes
+// sustained winners, and writes them back to the cache on drain — so a
+// restarted server plans the measured winners on its first request. Watch it
+// with `inspire-stats -url ...` (the "online autotuner" table).
 //
 // Endpoints:
 //
@@ -33,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/serve"
@@ -51,6 +60,13 @@ func main() {
 	queue := flag.Int("queue", 4096, "admission queue depth per model (full queue = 429)")
 	workers := flag.Int("workers", 0, "RunBatch workers per flush (0 = GOMAXPROCS)")
 	inflight := flag.Int("inflight", 2, "concurrent RunBatch flushes per model")
+	tune := flag.Bool("autotune", false,
+		"enable the online autotuner: explore alternate kernel implementations on live traffic and promote measured winners (requires -force auto)")
+	tuneCache := flag.String("tune-cache", "",
+		"tuning-cache file: seeds plans at startup, receives promoted winners on drain (with -autotune)")
+	tuneInterval := flag.Duration("tune-interval", 5*time.Second, "autotuner promotion-poll period")
+	tuneExplore := flag.Int("tune-explore", 0,
+		"route every Nth execution of a tuned layer through an alternate implementation (0 = default 16)")
 	flag.Parse()
 
 	impl, ok := map[string]runtime.Impl{
@@ -81,6 +97,21 @@ func main() {
 		MaxInFlight: *inflight,
 	}
 	opts := runtime.Options{Force: impl, Bits: *bits, Fuse: *fuse}
+	if *tune && impl != runtime.ImplAuto {
+		fmt.Fprintf(os.Stderr, "inspire-serve: -autotune requires -force auto (got %s)\n", *force)
+		os.Exit(2)
+	}
+	var store *autotune.Store
+	if *tune || *tuneCache != "" {
+		// A corrupt, truncated, or legacy-version cache must never stop the
+		// server: it just plans from defaults and re-measures.
+		store = autotune.LoadStoreOrEmpty(*tuneCache)
+		if store.Len() > 0 {
+			fmt.Printf("inspire-serve: tuning cache %s: %d entries\n", *tuneCache, store.Len())
+		}
+		opts.TuningStore = store
+	}
+	var tuners []*runtime.PlanTuner
 	served := 0
 	for _, m := range obs.EvalModels() {
 		if !want[m.Name] {
@@ -96,8 +127,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("inspire-serve: %s compiled (force=%s fuse=%v, input %v)\n",
-			m.Name, *force, *fuse, plan.Graph.In.OutShape)
+		if *tune {
+			pt, err := plan.StartTuner(runtime.TunerConfig{
+				Policy:    autotune.Policy{ExplorePeriod: *tuneExplore},
+				Interval:  *tuneInterval,
+				Store:     store,
+				StorePath: *tuneCache,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "inspire-serve: autotuning %s: %v\n", m.Name, err)
+				os.Exit(1)
+			}
+			tuners = append(tuners, pt)
+		}
+		fmt.Printf("inspire-serve: %s compiled (force=%s fuse=%v autotune=%v, input %v)\n",
+			m.Name, *force, *fuse, *tune, plan.Graph.In.OutShape)
 		served++
 	}
 	if len(want) > 0 || served == 0 {
@@ -144,5 +188,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "inspire-serve: shutdown: %v\n", err)
 	}
 	reg.Close()
+	// Batchers are drained: freeze routing at the promoted winners and
+	// persist them so the next start plans the tuned configuration.
+	for _, pt := range tuners {
+		if err := pt.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-serve: saving tuning cache: %v\n", err)
+		}
+	}
+	if len(tuners) > 0 && *tuneCache != "" {
+		fmt.Printf("inspire-serve: tuning cache saved to %s (%d entries)\n", *tuneCache, store.Len())
+	}
 	fmt.Println("inspire-serve: drained, bye")
 }

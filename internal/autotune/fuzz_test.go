@@ -1,0 +1,44 @@
+package autotune
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreDecode hardens the tuning-cache decoder: whatever bytes are on
+// disk (torn writes, hand edits, other tools), DecodeStore must either
+// return a clean error or a store whose canonical encoding round-trips.
+// Wired into `make fuzz` and CI's fuzz job.
+func FuzzStoreDecode(f *testing.F) {
+	f.Add([]byte(`{"version":2,"entries":[{"shape":"conv-n1-c1-k8","impl":"ipe","parallelism":0,"mean_ns":123.5,"samples":40,"updated_unix_ns":7}]}`))
+	f.Add([]byte(`{"version":2,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"shape":"s","mean_ns":1,"samples":1}]}`))
+	f.Add([]byte(`{"version":2,"entries":[{"shape":"s","impl":"a","parallelism":0,"mean_ns":1,"samples":1},{"shape":"s","impl":"a","parallelism":0,"mean_ns":2,"samples":9}]}`))
+	f.Add([]byte(`{"version":2,"entries":[]}trailing`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version":2,"entries":[{"shape":"s","impl":"a","mean_ns":1e999,"samples":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeStore(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode and round-trip losslessly.
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("decoded store failed to encode: %v", err)
+		}
+		s2, err := DecodeStore(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding did not decode: %v\n%s", err, buf.Bytes())
+		}
+		if s2.Len() != s.Len() {
+			t.Fatalf("round trip changed entry count: %d -> %d", s.Len(), s2.Len())
+		}
+		for k, e := range s.Snapshot() {
+			if got, ok := s2.Get(k); !ok || got != e {
+				t.Fatalf("round trip changed %v: %+v -> %+v (ok=%v)", k, e, got, ok)
+			}
+		}
+	})
+}

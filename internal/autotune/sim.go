@@ -1,0 +1,183 @@
+package autotune
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Simulation harness for the online bandit: a fake clock plus scripted
+// latency distributions drive LayerTuner/Tuner without real kernels, so
+// convergence, exploration bounds, and promotion hysteresis are assertable
+// in deterministic unit tests (and in CI's autotune-sim job under -race
+// with a fixed seed matrix). Nothing here reads wall clocks or global
+// randomness: given the same SimConfig, Simulate returns the same result on
+// every machine.
+
+// FakeClock is a manually advanced nanosecond clock.
+type FakeClock struct {
+	ns int64
+}
+
+// Now returns the current fake time in nanoseconds.
+func (c *FakeClock) Now() int64 { return c.ns }
+
+// Advance moves the clock forward by ns nanoseconds.
+func (c *FakeClock) Advance(ns int64) { c.ns += ns }
+
+// Script produces the latency of the n-th execution (1-based) of an arm.
+// It must be a pure function of (arm, n) so simulations are reproducible.
+type Script func(arm string, n int64) int64
+
+// SimSource is a scripted ArmReader: the simulation records each execution
+// into it exactly like the executor records into the metrics recorder, and
+// the tuner polls it back out. Safe for concurrent use (the race-gated CI
+// job runs simulations with -race).
+type SimSource struct {
+	mu     sync.Mutex
+	counts map[string]*ArmSample
+}
+
+// NewSimSource returns an empty source.
+func NewSimSource() *SimSource { return &SimSource{counts: make(map[string]*ArmSample)} }
+
+// Record logs one execution of (layer, arm) taking ns nanoseconds.
+func (s *SimSource) Record(layer, arm string, ns int64) {
+	k := layer + "|" + arm
+	s.mu.Lock()
+	c := s.counts[k]
+	if c == nil {
+		c = &ArmSample{}
+		s.counts[k] = c
+	}
+	c.Count++
+	c.SumNs += ns
+	s.mu.Unlock()
+}
+
+// Sample implements ArmReader.
+func (s *SimSource) Sample(layer, arm string) ArmSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.counts[layer+"|"+arm]; c != nil {
+		return *c
+	}
+	return ArmSample{}
+}
+
+// SimConfig describes one single-layer bandit simulation.
+type SimConfig struct {
+	// Policy configures the bandit (zero value = defaults).
+	Policy Policy
+	// Arms are the implementation names; Initial indexes the incumbent.
+	Arms    []string
+	Initial int
+	// Script supplies each arm's latency sequence.
+	Script Script
+	// Trials is the number of executions to simulate.
+	Trials int
+	// PollEvery runs a tuner poll after every PollEvery executions
+	// (default 50).
+	PollEvery int
+}
+
+// Promotion records one serving-arm change during a simulation.
+type Promotion struct {
+	// Trial is the 1-based execution count at which the promotion landed.
+	Trial int
+	From  string
+	To    string
+}
+
+// SimResult summarizes a simulation run.
+type SimResult struct {
+	// Final is the serving arm after the last trial.
+	Final string
+	// Chooses/Explores/Promotions are the bandit's own counters.
+	Chooses    int64
+	Explores   int64
+	Promotions int64
+	// Trace lists every promotion in order.
+	Trace []Promotion
+	// ServedNs is the total scripted latency of all executions — the cost
+	// the simulated server actually paid, exploration included. Comparing
+	// it against a pure single-arm schedule bounds the tuning overhead.
+	ServedNs int64
+	// ArmCounts is how many executions each arm received.
+	ArmCounts map[string]int64
+	// Clock is the fake clock after the run (equals ServedNs here, but kept
+	// separate so richer simulations can advance idle time too).
+	Clock FakeClock
+}
+
+// Simulate drives one LayerTuner through Trials scripted executions. Each
+// trial asks the bandit which arm to run, looks up that arm's scripted
+// latency, records it into the sim source (the stand-in for the metrics
+// recorder), and advances the fake clock; every PollEvery trials the tuner
+// polls the series and may promote. Fully deterministic.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	if cfg.Trials <= 0 {
+		return SimResult{}, fmt.Errorf("autotune: sim needs Trials > 0")
+	}
+	if cfg.Script == nil {
+		return SimResult{}, fmt.Errorf("autotune: sim needs a Script")
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 50
+	}
+	const layer = "sim"
+	src := NewSimSource()
+	tuner, err := NewBandit(cfg.Policy, src, []TunedLayer{
+		{Name: layer, Shape: "sim-shape", Arms: cfg.Arms, Initial: cfg.Initial},
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	if len(tuner.Layers()) != 1 {
+		return SimResult{}, fmt.Errorf("autotune: sim needs at least 2 arms")
+	}
+	lt := tuner.Layers()[0]
+
+	res := SimResult{ArmCounts: make(map[string]int64, len(cfg.Arms))}
+	for t := 1; t <= cfg.Trials; t++ {
+		prev := lt.CurrentArm()
+		arm := cfg.Arms[lt.Choose()]
+		n := res.ArmCounts[arm] + 1
+		res.ArmCounts[arm] = n
+		ns := cfg.Script(arm, n)
+		src.Record(layer, arm, ns)
+		res.ServedNs += ns
+		res.Clock.Advance(ns)
+		if t%cfg.PollEvery == 0 && tuner.Poll() > 0 {
+			res.Trace = append(res.Trace, Promotion{Trial: t, From: prev, To: lt.CurrentArm()})
+		}
+	}
+	res.Final = lt.CurrentArm()
+	res.Chooses, res.Explores, res.Promotions = lt.Counts()
+	return res, nil
+}
+
+// JitterScript builds a deterministic noisy script: arm latencies start
+// from base[arm] and jitter by ±frac, with the jitter derived from a
+// splitmix-style hash of (seed, arm, n) — reproducible across runs and
+// machines, no shared RNG state between arms.
+func JitterScript(seed uint64, base map[string]int64, frac float64) Script {
+	return func(arm string, n int64) int64 {
+		b := base[arm]
+		if frac <= 0 || b == 0 {
+			return b
+		}
+		h := seed
+		for _, c := range []byte(arm) {
+			h = (h ^ uint64(c)) * 0x100000001b3
+		}
+		h ^= uint64(n)
+		// splitmix64 finalizer
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+		// map to [-frac, +frac]
+		u := float64(h>>11) / float64(1<<53) // [0,1)
+		return b + int64(float64(b)*frac*(2*u-1))
+	}
+}

@@ -1,0 +1,201 @@
+package autotune
+
+import (
+	"testing"
+)
+
+// simSeeds is the fixed seed matrix the deterministic bandit simulations run
+// over (mirrored by CI's autotune-sim job). Every regime must hold for every
+// seed — the jitter hash is the only seed-dependent input.
+var simSeeds = []uint64{1, 2, 3, 4, 5}
+
+// TestSimStableWinnerConverges: the incumbent is 2x slower than an alternate
+// arm with mild noise. The bandit must promote the fast arm well within the
+// trial budget, promote it exactly once (no flapping), and keep serving it.
+func TestSimStableWinnerConverges(t *testing.T) {
+	for _, seed := range simSeeds {
+		res, err := Simulate(SimConfig{
+			Arms:    []string{"dense", "ipe"},
+			Initial: 0,
+			Script:  JitterScript(seed, map[string]int64{"dense": 100_000, "ipe": 50_000}, 0.05),
+			Trials:  5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Final != "ipe" {
+			t.Errorf("seed %d: converged to %q, want ipe", seed, res.Final)
+		}
+		if res.Promotions != 1 {
+			t.Errorf("seed %d: %d promotions, want exactly 1 (trace %v)", seed, res.Promotions, res.Trace)
+		}
+		// Convergence must be prompt: the alternate reaches MinSamples=30
+		// around trial 480 (one exploration per 16), hysteresis adds a few
+		// polls — give it 2x slack, not the whole budget.
+		if len(res.Trace) == 0 || res.Trace[0].Trial > 1500 {
+			t.Errorf("seed %d: promotion too late or missing: %v", seed, res.Trace)
+		}
+	}
+}
+
+// TestSimRegimeShiftReconverges: the incumbent starts fast and degrades 4x
+// mid-run (a cache gone cold, a co-tenant arriving). The EWMA must forget
+// the old regime and the bandit must migrate to the alternate arm.
+func TestSimRegimeShiftReconverges(t *testing.T) {
+	for _, seed := range simSeeds {
+		res, err := Simulate(SimConfig{
+			Arms:    []string{"a", "b"},
+			Initial: 0,
+			Script: func(arm string, n int64) int64 {
+				base := int64(100_000) // arm b
+				if arm == "a" {
+					if n <= 1500 {
+						base = 50_000
+					} else {
+						base = 200_000
+					}
+				}
+				j := JitterScript(seed, map[string]int64{arm: base}, 0.05)
+				return j(arm, n)
+			},
+			Trials: 6000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Final != "b" {
+			t.Errorf("seed %d: finished on %q, want b after regime shift", seed, res.Final)
+		}
+		if res.Promotions != 1 {
+			t.Errorf("seed %d: %d promotions, want exactly 1 (trace %v)", seed, res.Promotions, res.Trace)
+		}
+		// The shift lands once arm a has run ~1500 times (~trial 1600); the
+		// promotion must follow within a bounded number of polls, not at the
+		// end of the budget.
+		if len(res.Trace) == 1 && (res.Trace[0].Trial < 1500 || res.Trace[0].Trial > 4000) {
+			t.Errorf("seed %d: promotion at trial %d, want in (1500, 4000]", seed, res.Trace[0].Trial)
+		}
+	}
+}
+
+// TestSimNoisyNearTieDoesNotFlap: two arms 2% apart under 10% noise — well
+// inside the promotion margin. The bandit must hold the incumbent: zero
+// promotions, bounded exploration, no flapping.
+func TestSimNoisyNearTieDoesNotFlap(t *testing.T) {
+	for _, seed := range simSeeds {
+		res, err := Simulate(SimConfig{
+			Arms:    []string{"a", "b"},
+			Initial: 0,
+			Script:  JitterScript(seed, map[string]int64{"a": 100_000, "b": 98_000}, 0.10),
+			Trials:  8000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Promotions != 0 {
+			t.Errorf("seed %d: near-tie flapped: %d promotions (trace %v)", seed, res.Promotions, res.Trace)
+		}
+		if res.Final != "a" {
+			t.Errorf("seed %d: incumbent lost a near-tie: serving %q", seed, res.Final)
+		}
+	}
+}
+
+// TestSimExplorationExactlyBounded: the deterministic schedule's overhead is
+// a hard bound — explores == floor(chooses/ExplorePeriod), and the alternate
+// arm receives exactly that many executions when no promotion happens.
+func TestSimExplorationExactlyBounded(t *testing.T) {
+	const trials = 4096
+	res, err := Simulate(SimConfig{
+		Policy:  Policy{ExplorePeriod: 16, MinSamples: 1 << 40}, // promotion disabled
+		Arms:    []string{"a", "b"},
+		Initial: 0,
+		Script:  JitterScript(7, map[string]int64{"a": 90_000, "b": 100_000}, 0.05),
+		Trials:  trials,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExplores := int64(trials / 16)
+	if res.Explores != wantExplores {
+		t.Errorf("explores = %d, want exactly %d", res.Explores, wantExplores)
+	}
+	if res.Chooses != trials {
+		t.Errorf("chooses = %d, want %d", res.Chooses, trials)
+	}
+	if got := res.ArmCounts["b"]; got != wantExplores {
+		t.Errorf("alternate arm ran %d times, want exactly %d", got, wantExplores)
+	}
+	if res.Promotions != 0 {
+		t.Errorf("promotion happened with MinSamples disabled: %d", res.Promotions)
+	}
+}
+
+// TestSimTuningOverheadBounded: against a stable 2x-slower alternate, total
+// served time may exceed the all-incumbent schedule only by the exploration
+// fraction times the arm gap — tuning must never cost more than its bounded
+// exploration budget.
+func TestSimTuningOverheadBounded(t *testing.T) {
+	const trials = 2000
+	res, err := Simulate(SimConfig{
+		Policy:  Policy{MinSamples: 1 << 40}, // hold the incumbent: pure exploration cost
+		Arms:    []string{"fast", "slow"},
+		Initial: 0,
+		Script:  JitterScript(3, map[string]int64{"fast": 50_000, "slow": 100_000}, 0),
+		Trials:  trials,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := int64(trials) * 50_000
+	overhead := res.ServedNs - pure
+	maxOverhead := int64(trials/16) * (100_000 - 50_000)
+	if overhead != maxOverhead {
+		t.Errorf("tuning overhead %dns, want exactly the exploration bound %dns", overhead, maxOverhead)
+	}
+	if res.Clock.Now() != res.ServedNs {
+		t.Errorf("fake clock %d != served %d", res.Clock.Now(), res.ServedNs)
+	}
+}
+
+// TestSimDeterministic: identical configs yield identical results — the
+// property every other sim assertion rests on.
+func TestSimDeterministic(t *testing.T) {
+	cfg := SimConfig{
+		Arms:    []string{"a", "b", "c"},
+		Initial: 1,
+		Script:  JitterScript(9, map[string]int64{"a": 80_000, "b": 100_000, "c": 120_000}, 0.10),
+		Trials:  3000,
+	}
+	r1, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Final != r2.Final || r1.ServedNs != r2.ServedNs || r1.Explores != r2.Explores ||
+		r1.Promotions != r2.Promotions || len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", r1, r2)
+	}
+	if r1.Final != "a" {
+		t.Errorf("three-arm sim converged to %q, want a", r1.Final)
+	}
+}
+
+// TestSimRejectsBadConfig: the harness fails loudly on unusable configs.
+func TestSimRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(SimConfig{Arms: []string{"a", "b"}, Script: JitterScript(1, nil, 0)}); err == nil {
+		t.Error("want error for Trials <= 0")
+	}
+	if _, err := Simulate(SimConfig{Arms: []string{"a", "b"}, Trials: 10}); err == nil {
+		t.Error("want error for nil Script")
+	}
+	if _, err := Simulate(SimConfig{Arms: []string{"solo"}, Trials: 10, Script: JitterScript(1, nil, 0)}); err == nil {
+		t.Error("want error for a single-arm sim")
+	}
+	if _, err := Simulate(SimConfig{Arms: []string{"a", "b"}, Initial: 5, Trials: 10, Script: JitterScript(1, nil, 0)}); err == nil {
+		t.Error("want error for out-of-range Initial")
+	}
+}

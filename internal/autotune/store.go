@@ -1,0 +1,268 @@
+package autotune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// StoreVersion is the current on-disk tuning-cache format. Version 1 keyed
+// entries by layer shape alone, which let stale simulator costs seed online
+// choices measured under a different implementation or parallelism; version
+// 2 keys every entry by (shape, impl, parallelism) and loaders reject v1
+// files wholesale (invalidate-on-migrate: re-measuring is cheap, serving a
+// stale winner is not).
+const StoreVersion = 2
+
+// ErrStoreVersion rejects a tuning-cache file whose version does not match
+// StoreVersion. Legacy v1 files land here too: their shape-only keys cannot
+// be migrated faithfully, so they are invalidated rather than guessed at.
+var ErrStoreVersion = errors.New("autotune: unsupported tuning-cache version")
+
+// Key identifies one tuning observation: the layer's workload shape key
+// (schedule.Workload.Key for convolutions, the runtime's dense key for
+// fully connected layers), the implementation measured, and the intra-op
+// parallelism it ran under. All three matter: the same shape can prefer
+// different implementations at different shard counts, and an entry
+// measured under one implementation must never seed another.
+type Key struct {
+	Shape string
+	Impl  string
+	Par   int
+}
+
+// String renders the key's canonical form ("shape|impl|pN").
+func (k Key) String() string { return fmt.Sprintf("%s|%s|p%d", k.Shape, k.Impl, k.Par) }
+
+// Entry is one persisted measurement: the mean serving latency observed for
+// the key and how many samples back it. UpdatedUnixNs is the wall-clock
+// write time (callers stamp it; the store never reads clocks itself so
+// tests stay deterministic).
+type Entry struct {
+	MeanNs        float64 `json:"mean_ns"`
+	Samples       int64   `json:"samples"`
+	UpdatedUnixNs int64   `json:"updated_unix_ns,omitempty"`
+}
+
+// valid reports whether the entry carries a usable measurement.
+func (e Entry) valid() bool {
+	return e.Samples > 0 && e.MeanNs > 0 &&
+		!math.IsNaN(e.MeanNs) && !math.IsInf(e.MeanNs, 0)
+}
+
+// better reports whether a should win a merge conflict against b: more
+// samples first (better-supported measurement), then lower mean (faster),
+// then newer timestamp. Deterministic and symmetric, so merges commute.
+func better(a, b Entry) bool {
+	if a.Samples != b.Samples {
+		return a.Samples > b.Samples
+	}
+	if a.MeanNs != b.MeanNs {
+		return a.MeanNs < b.MeanNs
+	}
+	return a.UpdatedUnixNs > b.UpdatedUnixNs
+}
+
+// Store is the persisted tuning cache: measured serving latencies keyed by
+// (shape, impl, parallelism). Plans seed their per-operator implementation
+// choice from it at compile time, and the online tuner writes promoted
+// winners back, so restarted servers — and sibling models with identical
+// layer shapes — start from the fleet's best known configuration. Safe for
+// concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	entries map[Key]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{entries: make(map[Key]Entry)} }
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Get returns the entry for k.
+func (s *Store) Get(k Key) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	return e, ok
+}
+
+// Put records an entry, resolving a conflict with any existing entry by the
+// merge rule (more samples, then lower mean, then newer). Invalid entries
+// are ignored.
+func (s *Store) Put(k Key, e Entry) {
+	if k.Shape == "" || k.Impl == "" || k.Par < 0 || !e.valid() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[k]; ok && better(old, e) {
+		return
+	}
+	s.entries[k] = e
+}
+
+// Best returns the lowest-mean implementation recorded for (shape, par)
+// among the allowed implementations, considering only entries backed by at
+// least minSamples samples. Ties break toward the earlier entry in allowed,
+// so the result is deterministic for a given store.
+func (s *Store) Best(shape string, par int, allowed []string, minSamples int64) (string, Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bestImpl, bestE, found := "", Entry{}, false
+	for _, impl := range allowed {
+		e, ok := s.entries[Key{Shape: shape, Impl: impl, Par: par}]
+		if !ok || e.Samples < minSamples {
+			continue
+		}
+		if !found || e.MeanNs < bestE.MeanNs {
+			bestImpl, bestE, found = impl, e, true
+		}
+	}
+	return bestImpl, bestE, found
+}
+
+// Snapshot returns a copy of every entry, for reporting.
+func (s *Store) Snapshot() map[Key]Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Key]Entry, len(s.entries))
+	for k, e := range s.entries {
+		out[k] = e
+	}
+	return out
+}
+
+// merge folds other's entries into s under the conflict rule.
+func (s *Store) merge(other map[Key]Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range other {
+		if old, ok := s.entries[k]; ok && better(old, e) {
+			continue
+		}
+		s.entries[k] = e
+	}
+}
+
+// storeEntryJSON is the on-disk row: the key fields inline with the
+// measurement, one object per (shape, impl, parallelism).
+type storeEntryJSON struct {
+	Shape string `json:"shape"`
+	Impl  string `json:"impl"`
+	Par   int    `json:"parallelism"`
+	Entry
+}
+
+// storeJSON is the on-disk document.
+type storeJSON struct {
+	Version int              `json:"version"`
+	Entries []storeEntryJSON `json:"entries"`
+}
+
+// Encode writes the store as deterministic JSON: entries sorted by key, so
+// identical stores produce identical bytes regardless of insertion order.
+func (s *Store) Encode(w io.Writer) error {
+	s.mu.Lock()
+	doc := storeJSON{Version: StoreVersion, Entries: make([]storeEntryJSON, 0, len(s.entries))}
+	for k, e := range s.entries {
+		doc.Entries = append(doc.Entries, storeEntryJSON{Shape: k.Shape, Impl: k.Impl, Par: k.Par, Entry: e})
+	}
+	s.mu.Unlock()
+	sort.Slice(doc.Entries, func(i, j int) bool {
+		a, b := doc.Entries[i], doc.Entries[j]
+		return Key{a.Shape, a.Impl, a.Par}.String() < Key{b.Shape, b.Impl, b.Par}.String()
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeStore parses a tuning-cache document. It fails on malformed JSON,
+// trailing garbage, or a version mismatch (including legacy v1 files, which
+// are invalidated rather than migrated — see StoreVersion). Rows with an
+// empty shape or impl, negative parallelism, or an unusable measurement are
+// dropped individually; duplicate keys merge under the conflict rule, so a
+// decoded store is always internally consistent.
+func DecodeStore(r io.Reader) (*Store, error) {
+	dec := json.NewDecoder(r)
+	var doc storeJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("autotune: decoding tuning cache: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("autotune: tuning cache has trailing data")
+	}
+	if doc.Version != StoreVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrStoreVersion, doc.Version, StoreVersion)
+	}
+	s := NewStore()
+	for _, row := range doc.Entries {
+		s.Put(Key{Shape: row.Shape, Impl: row.Impl, Par: row.Par}, row.Entry)
+	}
+	return s, nil
+}
+
+// LoadStore reads the tuning cache at path. A missing file is not an error
+// — it returns an empty store, the cold-start case. Corrupt or
+// wrong-version files return an error so callers can decide between
+// LoadStoreOrEmpty's silent fallback and surfacing the problem.
+func LoadStore(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return NewStore(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeStore(f)
+}
+
+// LoadStoreOrEmpty reads the tuning cache at path, falling back to an empty
+// store on any error: a truncated, corrupt, or legacy-version file must
+// never stop a server from planning — it just plans from defaults.
+func LoadStoreOrEmpty(path string) *Store {
+	s, err := LoadStore(path)
+	if err != nil {
+		return NewStore()
+	}
+	return s
+}
+
+// Save persists the store to path with merge-on-conflict semantics: it
+// first folds in whatever a concurrent writer (a sibling server sharing the
+// cache file) already persisted, then writes a temp file in the same
+// directory and atomically renames it over path, so readers never observe a
+// torn file. An unreadable or wrong-version existing file is simply
+// overwritten (that is the recovery path for corruption).
+func (s *Store) Save(path string) error {
+	if disk, err := LoadStore(path); err == nil {
+		s.merge(disk.Snapshot())
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -86,6 +86,9 @@ type Recorder struct {
 
 	epByName  map[string]*EndpointStats
 	epOrdered []*EndpointStats
+
+	atByName  map[string]*AutotuneStats
+	atOrdered []*AutotuneStats
 }
 
 // New builds an empty Recorder. Most callers use Enable instead, which
@@ -95,6 +98,7 @@ func New() *Recorder {
 		byName:    make(map[string]*LayerStats),
 		regByName: make(map[string]*RegionStats),
 		epByName:  make(map[string]*EndpointStats),
+		atByName:  make(map[string]*AutotuneStats),
 	}
 }
 
@@ -190,6 +194,59 @@ func (r *Recorder) Endpoint(name string) *EndpointStats {
 	r.epByName[name] = s
 	r.epOrdered = append(r.epOrdered, s)
 	return s
+}
+
+// Autotune returns the named online-tuner series, creating it on first
+// use. Registration is the cold path (tuner start); the plan tuner publishes
+// its bandit state through the handle on every poll, so operators can watch
+// promotions land via inspire-stats without touching the tuner itself.
+func (r *Recorder) Autotune(name string) *AutotuneStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.atByName[name]; ok {
+		return s
+	}
+	s := &AutotuneStats{name: name}
+	r.atByName[name] = s
+	r.atOrdered = append(r.atOrdered, s)
+	return s
+}
+
+// AutotuneStats is one tuned layer's published bandit state: the serving
+// implementation, how many executions the bandit routed, how many of them
+// explored an alternate implementation, and how many promotions have
+// happened. The plan tuner overwrites the fields on each poll (these are
+// published gauges, not accumulated counters). All methods are atomic and
+// nil-safe.
+type AutotuneStats struct {
+	name    string
+	current atomic.Pointer[string]
+
+	Executions   atomic.Int64
+	Explorations atomic.Int64
+	Promotions   atomic.Int64
+}
+
+// Name returns the series' registration name.
+func (s *AutotuneStats) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Publish overwrites the published bandit state.
+func (s *AutotuneStats) Publish(current string, execs, explores, promotions int64) {
+	if s == nil {
+		return
+	}
+	s.current.Store(&current)
+	s.Executions.Store(execs)
+	s.Explorations.Store(explores)
+	s.Promotions.Store(promotions)
 }
 
 // EndpointStats aggregates one serving endpoint's traffic: completed and
@@ -307,12 +364,16 @@ func (s *RegionStats) SetModel(mode string, retained, spilled, fusedDRAM, unfuse
 	s.unfusedDRAMBytes.Store(unfusedDRAM)
 }
 
-// LayerStats aggregates one layer's executions: dispatch counts per kernel
-// family, a latency histogram, and batch-size extents. All methods are
-// atomic and nil-safe.
+// LayerStats aggregates one layer's executions: dispatch counts and total
+// latency per kernel family, a latency histogram, and batch-size extents.
+// The per-kernel (count, sum-ns) pairs form the latency series the online
+// autotuner polls — they attribute time to the implementation that actually
+// ran, which the merged histogram cannot. All methods are atomic and
+// nil-safe.
 type LayerStats struct {
 	name     string
 	kernels  [KernelCount]atomic.Int64
+	kernelNs [KernelCount]atomic.Int64
 	lat      Hist
 	batchSum atomic.Int64
 	batchMax atomic.Int64
@@ -333,9 +394,21 @@ func (l *LayerStats) Record(k Kernel, ns int64, batch int) {
 		return
 	}
 	l.kernels[k].Add(1)
+	l.kernelNs[k].Add(ns)
 	l.lat.Observe(ns)
 	l.batchSum.Add(int64(batch))
 	atomicMax(&l.batchMax, int64(batch))
+}
+
+// KernelSample returns kernel k's cumulative latency series for this layer:
+// how many executions it ran and their total nanoseconds. This is the
+// autotuner's reward signal — polled as a cumulative series and differenced
+// by the bandit, so concurrent recording never skews it.
+func (l *LayerStats) KernelSample(k Kernel) (count, sumNs int64) {
+	if l == nil {
+		return 0, 0
+	}
+	return l.kernels[k].Load(), l.kernelNs[k].Load()
 }
 
 // PoolStats is the worker-pool telemetry: how many shard blocks were

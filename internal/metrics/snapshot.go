@@ -17,7 +17,11 @@ type LayerSnapshot struct {
 	// Kernels maps kernel name -> dispatch count, for layers that ran under
 	// more than one implementation.
 	Kernels map[string]int64 `json:"kernels,omitempty"`
-	Latency HistSnapshot     `json:"latency"`
+	// KernelMeanNs maps kernel name -> mean latency over that kernel's own
+	// executions of this layer — the per-implementation series the online
+	// autotuner judges candidates by.
+	KernelMeanNs map[string]int64 `json:"kernel_mean_ns,omitempty"`
+	Latency      HistSnapshot     `json:"latency"`
 	// MeanBatch and MaxBatch summarize the batch sizes recorded.
 	MeanBatch float64 `json:"mean_batch"`
 	MaxBatch  int64   `json:"max_batch"`
@@ -35,6 +39,18 @@ type RegionSnapshot struct {
 	SpilledBytes     int64  `json:"spilled_bytes"`
 	FusedDRAMBytes   int64  `json:"fused_dram_bytes"`
 	UnfusedDRAMBytes int64  `json:"unfused_dram_bytes"`
+}
+
+// AutotuneSnapshot is the point-in-time view of one tuned layer's bandit:
+// the implementation currently serving it, the executions the bandit
+// routed, the exploration fraction spent on alternates, and how many
+// promotions have landed.
+type AutotuneSnapshot struct {
+	Name         string `json:"name"`
+	Current      string `json:"current"`
+	Executions   int64  `json:"executions"`
+	Explorations int64  `json:"explorations"`
+	Promotions   int64  `json:"promotions"`
 }
 
 // EndpointSnapshot is the point-in-time view of one serving endpoint: the
@@ -95,7 +111,10 @@ type Snapshot struct {
 	// Endpoints lists the serving-endpoint series (empty unless a serve
 	// batcher registered traffic).
 	Endpoints []EndpointSnapshot `json:"endpoints,omitempty"`
-	Kernels   map[string]int64   `json:"kernel_dispatches"`
+	// Autotune lists the online-tuner series (empty unless a plan tuner is
+	// running).
+	Autotune []AutotuneSnapshot `json:"autotune,omitempty"`
+	Kernels  map[string]int64   `json:"kernel_dispatches"`
 	Pool    PoolSnapshot     `json:"pool"`
 	Exec    ExecSnapshot     `json:"executor"`
 }
@@ -113,6 +132,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	layers := append([]*LayerStats(nil), r.ordered...)
 	regions := append([]*RegionStats(nil), r.regOrdered...)
 	endpoints := append([]*EndpointStats(nil), r.epOrdered...)
+	autotune := append([]*AutotuneStats(nil), r.atOrdered...)
 	r.mu.Unlock()
 	s.Layers = make([]LayerSnapshot, 0, len(layers))
 	for _, l := range layers {
@@ -123,6 +143,9 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	for _, ep := range endpoints {
 		s.Endpoints = append(s.Endpoints, ep.Snapshot())
+	}
+	for _, at := range autotune {
+		s.Autotune = append(s.Autotune, at.Snapshot())
 	}
 	s.Kernels = make(map[string]int64)
 	for k := Kernel(0); k < KernelCount; k++ {
@@ -156,6 +179,12 @@ func (l *LayerStats) Snapshot() LayerSnapshot {
 			s.Kernels = make(map[string]int64)
 		}
 		s.Kernels[k.String()] = n
+		if sum := l.kernelNs[k].Load(); sum > 0 {
+			if s.KernelMeanNs == nil {
+				s.KernelMeanNs = make(map[string]int64)
+			}
+			s.KernelMeanNs[k.String()] = sum / n
+		}
 		if n > domN {
 			domK, domN = k, n
 		}
@@ -167,6 +196,22 @@ func (l *LayerStats) Snapshot() LayerSnapshot {
 		s.MeanBatch = float64(l.batchSum.Load()) / float64(s.Latency.Count)
 	}
 	return s
+}
+
+// Snapshot captures one autotune series.
+func (s *AutotuneStats) Snapshot() AutotuneSnapshot {
+	var snap AutotuneSnapshot
+	if s == nil {
+		return snap
+	}
+	snap.Name = s.name
+	if c := s.current.Load(); c != nil {
+		snap.Current = *c
+	}
+	snap.Executions = s.Executions.Load()
+	snap.Explorations = s.Explorations.Load()
+	snap.Promotions = s.Promotions.Load()
+	return snap
 }
 
 // Snapshot captures one region series.

@@ -124,6 +124,29 @@ func RegionTable(title string, s metrics.Snapshot, prefix string) *report.Table 
 	return t
 }
 
+// AutotuneTable renders the online tuner's per-layer state whose names start
+// with prefix (all of them when prefix is empty): the implementation each
+// tuned layer currently serves, how many executions the bandit routed, how
+// many of those explored an alternate implementation, and how many
+// promotions have landed. Untuned processes render a header-only table.
+func AutotuneTable(title string, s metrics.Snapshot, prefix string) *report.Table {
+	t := report.NewTable(title,
+		"layer", "serving impl", "executions", "explorations", "promotions")
+	for _, a := range s.Autotune {
+		if prefix != "" && !strings.HasPrefix(a.Name, prefix) {
+			continue
+		}
+		t.AddRow(
+			strings.TrimPrefix(a.Name, prefix),
+			a.Current,
+			report.Count(a.Executions),
+			report.Count(a.Explorations),
+			report.Count(a.Promotions),
+		)
+	}
+	return t
+}
+
 // PoolTable renders the worker-pool telemetry: where parallel-for blocks
 // ran (helper goroutine, inline fallback, calling goroutine), helper spawn
 // latency, and token occupancy at region entry.

@@ -197,9 +197,16 @@ func newRegionExec(rp *RegionPlan) *regionExec {
 // stepKernel maps a compiled operator to the kernel-family tag its
 // dispatch in runStep will execute (the per-layer "kernel chosen" column).
 func stepKernel(op *CompiledOp) metrics.Kernel {
-	switch op.Node.Kind {
+	return stepKernelFor(op.Node.Kind, op.Impl)
+}
+
+// stepKernelFor is stepKernel for an explicit (kind, impl) pair — the online
+// tuner uses it to tag explored executions with the kernel they actually ran,
+// so per-impl latency series stay separable.
+func stepKernelFor(kind graph.OpKind, impl Impl) metrics.Kernel {
+	switch kind {
 	case graph.OpConv:
-		switch op.Impl {
+		switch impl {
 		case ImplDense:
 			return metrics.KernelDirect
 		case ImplWinograd:
@@ -214,7 +221,7 @@ func stepKernel(op *CompiledOp) metrics.Kernel {
 			return metrics.KernelIPECompiled
 		}
 	case graph.OpDense:
-		switch op.Impl {
+		switch impl {
 		case ImplDense:
 			return metrics.KernelGEMM
 		case ImplCSR:
@@ -262,19 +269,30 @@ func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	batch := input.Dim(0)
 	e.slots[g.In.ID] = input
+	// Resolve the online tuner once per run (one atomic load): pooled
+	// executors built before StartTuner still route through it, and a Run
+	// in flight keeps a consistent view while tuning stops or starts.
+	lt := e.plan.live.Load()
 	for i := range e.steps {
 		st := &e.steps[i]
 		for j, id := range st.insIDs {
 			st.ins[j] = e.slots[id]
 		}
+		impl, kernel := st.op.Impl, st.kernel
+		if lt != nil && lt.perStep[i] != nil {
+			impl = lt.arms[i][lt.perStep[i].Choose()]
+			if st.stats != nil {
+				kernel = stepKernelFor(st.node.Kind, impl)
+			}
+		}
 		e.par.Reset()
 		var err error
 		if st.stats != nil {
 			t0 := time.Now()
-			err = e.dispatchStep(st)
-			st.stats.Record(st.kernel, time.Since(t0).Nanoseconds(), batch)
+			err = e.dispatchStep(st, impl)
+			st.stats.Record(kernel, time.Since(t0).Nanoseconds(), batch)
 		} else {
-			err = e.dispatchStep(st)
+			err = e.dispatchStep(st, impl)
 		}
 		if err != nil {
 			e.dropInputRefs()
@@ -308,12 +326,14 @@ func (e *Executor) dropInputRefs() {
 }
 
 // dispatchStep routes a step to the fused-region runner or the singleton
-// operator path.
-func (e *Executor) dispatchStep(st *execStep) error {
+// operator path. impl is the implementation to execute — st.op.Impl unless
+// the online tuner routed this execution to an alternate arm (fused region
+// steps are never tuned, so regions always run their planned impl).
+func (e *Executor) dispatchStep(st *execStep, impl Impl) error {
 	if st.region != nil {
 		return e.runRegion(st)
 	}
-	return e.runStep(st)
+	return e.runStep(st, impl)
 }
 
 // runRegion executes one fused region step. Elementwise regions run the
@@ -327,7 +347,7 @@ func (e *Executor) dispatchStep(st *execStep) error {
 func (e *Executor) runRegion(st *execStep) error {
 	re := st.region
 	if !re.rp.Tiled {
-		if err := e.runStep(st); err != nil {
+		if err := e.runStep(st, st.op.Impl); err != nil {
 			return err
 		}
 		if re.rp.ExtraReLU {
@@ -403,22 +423,22 @@ func (e *Executor) execTile(re *regionExec, in, dst *tensor.Tensor, b, wi int, s
 // runStep dispatches one operator to its selected destination-passing
 // kernel. Conv/dense implementations apply their fused ReLU after the
 // kernel; the generic graph path handles it inside EvalNodeInto.
-func (e *Executor) runStep(st *execStep) error {
+func (e *Executor) runStep(st *execStep, impl Impl) error {
 	n, op, dst := st.node, st.op, st.out
 	switch {
-	case n.Kind == graph.OpConv && op.Impl == ImplCSR:
+	case n.Kind == graph.OpConv && impl == ImplCSR:
 		op.csrConv.ForwardIntoPar(dst, st.ins[0], e.par)
-	case n.Kind == graph.OpConv && op.Impl == ImplFactorized:
+	case n.Kind == graph.OpConv && impl == ImplFactorized:
 		op.factConv.ForwardIntoPar(dst, st.ins[0], e.par)
-	case n.Kind == graph.OpConv && op.Impl == ImplIPE:
+	case n.Kind == graph.OpConv && impl == ImplIPE:
 		op.ipeConv.ForwardIntoPar(dst, st.ins[0], e.par)
-	case n.Kind == graph.OpConv && op.Impl == ImplWinograd:
+	case n.Kind == graph.OpConv && impl == ImplWinograd:
 		op.winConv.ForwardIntoPar(dst, st.ins[0], e.par)
-	case n.Kind == graph.OpDense && op.Impl == ImplCSR:
+	case n.Kind == graph.OpDense && impl == ImplCSR:
 		denseCSRInto(dst, st.ins[0], op.csrDense, op.denseBias)
-	case n.Kind == graph.OpDense && op.Impl == ImplFactorized:
+	case n.Kind == graph.OpDense && impl == ImplFactorized:
 		denseFactorizedInto(dst, st.ins[0], op.factDense, op.denseBias)
-	case n.Kind == graph.OpDense && op.Impl == ImplIPE:
+	case n.Kind == graph.OpDense && impl == ImplIPE:
 		op.ipeDense.ForwardInto(dst, st.ins[0], e.par.Scratch(0))
 	default:
 		// EvalNodeIntoPar already applies FusedReLU.

@@ -53,6 +53,17 @@ func (im Impl) String() string {
 	return fmt.Sprintf("Impl(%d)", int(im))
 }
 
+// ImplByName resolves an implementation's short name (the inverse of
+// String; "auto" resolves to ImplAuto).
+func ImplByName(name string) (Impl, bool) {
+	for im, s := range implNames {
+		if s == name {
+			return im, true
+		}
+	}
+	return ImplAuto, false
+}
+
 // Options configures compilation.
 type Options struct {
 	// Bits is the weight quantization bit-width for the encoded
@@ -85,6 +96,17 @@ type Options struct {
 	TuneBudget int
 	// Cache reuses tuning results across identically-shaped layers.
 	Cache *autotune.Cache
+	// TuningStore seeds each conv/dense operator's implementation choice
+	// from persisted online-tuning measurements (see Plan.StartTuner):
+	// when the store holds a sufficiently-sampled winner for the layer's
+	// (shape, parallelism) the measured winner overrides the simulator's
+	// pick, so a restarted server — or a sibling model with identical layer
+	// shapes — plans the tuned implementation on the first request. Only
+	// consulted under ImplAuto; nil disables seeding.
+	TuningStore *autotune.Store
+	// TunePar is the parallelism component of tuning-store keys, for both
+	// seeding and write-back (0 = the default serving configuration).
+	TunePar int
 	// Seed drives the tuner.
 	Seed uint64
 	// Workers bounds the compilation parallelism (per-operator encoding
@@ -135,6 +157,11 @@ type CompiledOp struct {
 	// roofline profile.)
 	profiles map[Impl]accel.KernelProfile
 
+	// shapeKey identifies the operator's workload shape for the persistent
+	// tuning cache (schedule.Workload.Key for convs, a dense key for FC
+	// layers; empty for untunable operators).
+	shapeKey string
+
 	ipeConv   *ipe.ConvLayer
 	ipeDense  *ipe.DenseLayer
 	csrConv   *baseline.ConvCSR
@@ -171,6 +198,11 @@ type Plan struct {
 	// don't merge same-named layers). Set it before the first
 	// NewExecutor/AcquireExecutor call; empty is fine for a single plan.
 	MetricsPrefix string
+
+	// live holds the online-tuner routing state while StartTuner is active
+	// (nil otherwise). Executors load it once per Run — one atomic pointer
+	// load — so untuned plans pay nothing on the hot path.
+	live atomic.Pointer[liveTuner]
 
 	// executors recycles Executors across Run/RunBatch calls so steady-state
 	// inference reuses warm arenas instead of reallocating them.
@@ -302,7 +334,11 @@ func denseConvSim(w schedule.Workload, opts Options) accel.Result {
 	}
 	var r autotune.Result
 	if opts.TuneDense {
-		r = opts.Cache.GetOrTune(w.Key(), run)
+		// The cache key carries impl and parallelism alongside the shape:
+		// shape-only keys let a schedule tuned for one configuration leak
+		// into another.
+		key := autotune.Key{Shape: w.Key(), Impl: "dense", Par: opts.TunePar}
+		r = opts.Cache.GetOrTune(key.String(), run)
 	} else {
 		r = run()
 	}
@@ -388,7 +424,9 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 			op.profiles[ImplDense] = accel.DenseConvProfile(spec, wl.N, wl.H, wl.W)
 		}
 	}
+	op.shapeKey = wl.Key()
 	op.Impl = chooseImpl(op.Candidates, opts.Force)
+	seedFromStore(&op, opts)
 	op.Sim = op.Candidates[op.Impl]
 	return op, nil
 }
@@ -450,7 +488,9 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 		op.profiles[ImplIPE] = toProfile("ipe", scaleCost(ic), ic.StreamSymbols*2+int64(ipeL.Program.DictSize())*4)
 		op.Candidates[ImplIPE] = opts.HW.Simulate(op.profiles[ImplIPE])
 	}
+	op.shapeKey = fmt.Sprintf("dense-m%d-k%d-b%d", m, k, batch)
 	op.Impl = chooseImpl(op.Candidates, opts.Force)
+	seedFromStore(&op, opts)
 	op.Sim = op.Candidates[op.Impl]
 	return op, nil
 }
@@ -504,6 +544,51 @@ func chooseImpl(cands map[Impl]accel.Result, force Impl) Impl {
 		}
 	}
 	return best
+}
+
+// tunableArms returns the operator's built candidate implementations in a
+// stable order — the arm set the online tuner explores. Only conv and dense
+// operators are tunable; everything else returns nil.
+func (op *CompiledOp) tunableArms() []Impl {
+	if op.Node.Kind != graph.OpConv && op.Node.Kind != graph.OpDense {
+		return nil
+	}
+	var arms []Impl
+	for _, im := range []Impl{ImplDense, ImplWinograd, ImplCSR, ImplFactorized, ImplIPE} {
+		if _, ok := op.Candidates[im]; ok {
+			arms = append(arms, im)
+		}
+	}
+	return arms
+}
+
+// seedFromStore overrides the simulator's implementation choice with a
+// persisted measured winner when one exists for this operator's (shape,
+// parallelism) and was built as a candidate. Only under auto selection:
+// a forced plan always serves its forced implementation.
+func seedFromStore(op *CompiledOp, opts Options) {
+	if opts.Force != ImplAuto || opts.TuningStore == nil {
+		return
+	}
+	arms := op.tunableArms()
+	if len(arms) == 0 {
+		return
+	}
+	names := make([]string, len(arms))
+	for i, im := range arms {
+		names[i] = im.String()
+	}
+	name, _, ok := opts.TuningStore.Best(op.shapeKey, opts.TunePar, names, autotune.DefaultPolicy().MinSamples)
+	if !ok {
+		return
+	}
+	im, ok := ImplByName(name)
+	if !ok {
+		return
+	}
+	if _, ok := op.Candidates[im]; ok {
+		op.Impl = im
+	}
 }
 
 // Run executes the plan on the CPU using a pooled Executor: every kernel
