@@ -13,9 +13,10 @@ FUZZ_TARGETS := \
 	./internal/conformance:FuzzConformanceDense \
 	./internal/conformance:FuzzConformanceProgram \
 	./internal/conformance:FuzzConformanceGraph \
-	./internal/autotune:FuzzStoreDecode
+	./internal/autotune:FuzzStoreDecode \
+	./internal/tensor:FuzzGemmBlockedMatchesNaive
 
-.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-json bench-json3 bench-check serve-smoke autotune-sim
+.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-micro bench-json bench-json3 bench-check serve-smoke autotune-sim
 
 verify: build test race vet
 
@@ -65,6 +66,13 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# One iteration of each microkernel benchmark (packed GEMM, blocked IPE
+# emit, int8/int16 GEMM): a blocking compile-and-execute check on the
+# register-blocked hot loops, not a timing gate.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'GemmVariants|GemmInt|EmitBlocked' -benchtime 1x \
+		./internal/tensor ./internal/quant ./internal/ipe
+
 # Paired serial-vs-sharded wall-time measurements for the intra-op pool.
 bench-json:
 	$(GO) run ./cmd/inspire-perf > BENCH_2.json
@@ -77,13 +85,15 @@ bench-json3:
 	$(GO) run ./cmd/inspire-perf -compiled -metrics -sched > BENCH_3.json
 
 # Perf-regression gate: one quick interleaving of the BENCH_3 measurement
-# against the committed baseline, failing on a >25% geomean slowdown.
+# against the committed baseline, failing on a >25% geomean slowdown — or,
+# via -improve, on a >=1.5x geomean speedup (the committed baseline is
+# stale and should be regenerated with `make bench-json3`).
 # Cross-machine variance makes absolute ns incomparable, so CI runs this as
 # a non-blocking signal; locally it is most meaningful right after a fresh
 # `make bench-json3` on the same box.
 bench-check:
 	$(GO) run ./cmd/inspire-perf -compiled -metrics -sched -quick > /tmp/bench_current.json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_3.json -current /tmp/bench_current.json -improve
 
 # Deterministic online-autotuner suite under the race detector: the bandit
 # simulations (stable winner / regime shift / noisy near-tie over the fixed

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"repro/internal/benchfmt"
 	"repro/internal/report"
@@ -63,6 +64,10 @@ func main() {
 	currentPath := flag.String("current", "", "freshly generated report to compare (required)")
 	maxRegression := flag.Float64("max-regression", 0.25,
 		"maximum allowed geomean slowdown, e.g. 0.25 = fail when current is >25% slower")
+	improve := flag.Bool("improve", false,
+		"also fail when the geomean improves beyond -improve-factor: the committed baseline is stale and should be regenerated")
+	improveFactor := flag.Float64("improve-factor", 1.5,
+		"improvement factor that marks the baseline stale under -improve")
 	flag.Parse()
 	if *currentPath == "" {
 		fail(2, "-current is required")
@@ -82,6 +87,7 @@ func main() {
 	var logSum float64
 	var n int
 	var missing []string
+	var deltas []shapeDelta
 	for i := range cur.Results {
 		c := &cur.Results[i]
 		b, ok := baseByName[c.Name]
@@ -105,6 +111,7 @@ func main() {
 		ratio := float64(cNs) / float64(bNs)
 		logSum += math.Log(ratio)
 		n++
+		deltas = append(deltas, shapeDelta{name: c.Name, baseNs: bNs, curNs: cNs, ratio: ratio})
 		t.AddRow(c.Name, bSrc,
 			report.Count(bNs), report.Count(cNs), fmt.Sprintf("%.3f", ratio))
 	}
@@ -126,7 +133,38 @@ func main() {
 	if geomean > limit {
 		fmt.Printf("FAIL: geomean regression %.1f%% exceeds %.1f%%\n",
 			(geomean-1)*100, *maxRegression*100)
+		printDeltas(deltas, false)
+		os.Exit(1)
+	}
+	if *improve && geomean <= 1 / *improveFactor {
+		fmt.Printf("FAIL: baseline stale — current is %.2fx faster than %s (geomean), beyond the %.2fx threshold; regenerate BENCH_3.json (make bench-json3) and commit it\n",
+			1/geomean, *baselinePath, *improveFactor)
+		printDeltas(deltas, true)
 		os.Exit(1)
 	}
 	fmt.Println("OK: within regression budget")
+}
+
+// shapeDelta is one layer's baseline/current pair for failure reporting.
+type shapeDelta struct {
+	name          string
+	baseNs, curNs int64
+	ratio         float64
+}
+
+// printDeltas lists the per-shape deltas behind a failing geomean, most
+// extreme first: the slowest regressions when the gate tripped on a
+// slowdown, the biggest wins when it tripped on a stale baseline.
+func printDeltas(deltas []shapeDelta, improvements bool) {
+	sort.Slice(deltas, func(i, j int) bool {
+		if improvements {
+			return deltas[i].ratio < deltas[j].ratio
+		}
+		return deltas[i].ratio > deltas[j].ratio
+	})
+	fmt.Println("per-shape deltas (most extreme first):")
+	for _, d := range deltas {
+		fmt.Printf("  %-40s %12d -> %12d ns  (%+.1f%%)\n",
+			d.name, d.baseNs, d.curNs, (d.ratio-1)*100)
+	}
 }

@@ -1,0 +1,37 @@
+package autotune
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Arm-name convention for parallelism-qualified arms. The bandit itself is
+// agnostic to what an arm means; callers that explore (implementation,
+// parallelism) pairs encode the pair as "impl@pN" so winners round-trip
+// into the persistent store — whose v2 keys already carry parallelism —
+// under the parallelism the measurement was actually taken at.
+
+// ArmName renders an (implementation, parallelism) arm. par <= 0 means the
+// session's default serving parallelism: the name stays the bare
+// implementation, matching pre-existing series and store entries.
+func ArmName(impl string, par int) string {
+	if par <= 0 {
+		return impl
+	}
+	return fmt.Sprintf("%s@p%d", impl, par)
+}
+
+// ParseArmName splits an arm name into its implementation and parallelism
+// components. Names without a "@pN" suffix return par 0 (serving default).
+func ParseArmName(arm string) (impl string, par int) {
+	i := strings.LastIndex(arm, "@p")
+	if i < 0 {
+		return arm, 0
+	}
+	n, err := strconv.Atoi(arm[i+2:])
+	if err != nil || n <= 0 {
+		return arm, 0
+	}
+	return arm[:i], n
+}

@@ -439,167 +439,8 @@ func (c *Compiled) ExecuteMatrixIntoPar(dst, cols []float32, pTotal int, par *te
 }
 
 // executeMatrixCols processes input columns [lo, hi) (lo colBlock-aligned)
-// against the flat streams. Per-element arithmetic and its order match the
-// interpreter's executeMatrixCols exactly — only redundant memory passes
-// are removed:
-//
-//   - rows accumulate straight into their dst block (the interpreter
-//     stages through an acc buffer and copies it out);
-//   - a term's group accumulator starts as 0 + firstSym instead of a zero
-//     pass followed by +=, the identical additions in the identical order
-//     (the explicit 0+x is kept so signed zeros round-trip bitwise);
-//   - terms of up to three symbols — the common cases after pair merging —
-//     are specialized into single fused slab passes that never touch the
-//     group buffer;
-//   - longer terms fold four source slabs per group pass and merge the
-//     value multiply into the final pass, quartering the group buffer
-//     load/store traffic. Per element this performs the identical addition
-//     chain in the identical order — only the interleaving across a
-//     block's independent columns changes, which cannot affect any
-//     element's result.
-// slab returns location l's block-local slab of width bw. Emit reads always
-// resolve into scratch: raw inputs the emit stream touches are pre-gathered
-// there, and pair results live there by construction.
-func slab(scratch []float32, l int32, bw int) []float32 {
-	o := int(l) * colBlock
-	return scratch[o : o+bw : o+bw]
-}
-
+// against the flat streams; see emitblock.go for the register-blocked
+// implementation and its bit-identity argument.
 func (c *Compiled) executeMatrixCols(dst, cols []float32, pTotal, lo, hi int, s *tensor.Scratch) {
-	mark := s.Mark()
-	scratch := s.Take(c.ScratchLen() * colBlock)
-	group := s.Take(colBlock)
-	pa, pb, pd := c.pairA, c.pairB, c.pairDst
-	symStream, termOff, values, rowOff := c.syms, c.termOff, c.values, c.rowOff
-	K := c.K
-	for c0 := lo; c0 < hi; c0 += colBlock {
-		bw := min(colBlock, hi-c0)
-		// Gather only the raw input rows the emit stream re-reads into
-		// contiguous slabs (emit terms revisit their slabs, so those must
-		// be local). Raw inputs consumed solely by the pair phase are read
-		// from cols in place below — they are touched exactly once, and
-		// skipping their copies is where K-heavy layers win.
-		for _, gr := range c.gatherRows {
-			i := int(gr)
-			copy(scratch[i*colBlock:i*colBlock+bw], cols[i*pTotal+c0:i*pTotal+c0+bw])
-		}
-		// Pair stream: one vector add per entry into its compacted slab.
-		// The raw-vs-slab branch per operand is perfectly predictable —
-		// every stream position resolves the same way on every block.
-		for i := range pd {
-			d := scratch[int(pd[i])*colBlock : int(pd[i])*colBlock+bw]
-			var a, b []float32
-			if la := int(pa[i]); la < K {
-				o := la*pTotal + c0
-				a = cols[o : o+bw : o+bw]
-			} else {
-				o := la * colBlock
-				a = scratch[o : o+bw : o+bw]
-			}
-			if lb := int(pb[i]); lb < K {
-				o := lb*pTotal + c0
-				b = cols[o : o+bw : o+bw]
-			} else {
-				o := lb * colBlock
-				b = scratch[o : o+bw : o+bw]
-			}
-			_ = a[len(d)-1]
-			_ = b[len(d)-1]
-			for k := range d {
-				d[k] = a[k] + b[k]
-			}
-		}
-		// Emit stream.
-		for r := 0; r < c.M; r++ {
-			out := dst[r*pTotal+c0 : r*pTotal+c0+bw]
-			for i := range out {
-				out[i] = 0
-			}
-			for t := rowOff[r]; t < rowOff[r+1]; t++ {
-				ts := symStream[termOff[t]:termOff[t+1]]
-				v := values[t]
-				src0 := slab(scratch, ts[0], bw)
-				switch len(ts) {
-				case 1:
-					for i, sv := range src0 {
-						out[i] += v * (0 + sv)
-					}
-				case 2:
-					s1 := slab(scratch, ts[1], bw)
-					_ = s1[len(src0)-1]
-					for i, sv := range src0 {
-						out[i] += v * ((0 + sv) + s1[i])
-					}
-				case 3:
-					s1 := slab(scratch, ts[1], bw)
-					s2 := slab(scratch, ts[2], bw)
-					_ = s1[len(src0)-1]
-					_ = s2[len(src0)-1]
-					for i, sv := range src0 {
-						out[i] += v * (((0 + sv) + s1[i]) + s2[i])
-					}
-				default:
-					g := group[:bw]
-					for i, sv := range src0 {
-						g[i] = 0 + sv
-					}
-					rest := ts[1:]
-					tail := (len(rest)-1)%4 + 1
-					for len(rest) > tail {
-						s1 := slab(scratch, rest[0], bw)
-						s2 := slab(scratch, rest[1], bw)
-						s3 := slab(scratch, rest[2], bw)
-						s4 := slab(scratch, rest[3], bw)
-						_ = s1[len(g)-1]
-						_ = s2[len(g)-1]
-						_ = s3[len(g)-1]
-						_ = s4[len(g)-1]
-						for i := range g {
-							g[i] = (((g[i] + s1[i]) + s2[i]) + s3[i]) + s4[i]
-						}
-						rest = rest[4:]
-					}
-					switch tail {
-					case 1:
-						s1 := slab(scratch, rest[0], bw)
-						_ = s1[len(g)-1]
-						for i, gv := range g {
-							out[i] += v * (gv + s1[i])
-						}
-					case 2:
-						s1 := slab(scratch, rest[0], bw)
-						s2 := slab(scratch, rest[1], bw)
-						_ = s1[len(g)-1]
-						_ = s2[len(g)-1]
-						for i, gv := range g {
-							out[i] += v * ((gv + s1[i]) + s2[i])
-						}
-					case 3:
-						s1 := slab(scratch, rest[0], bw)
-						s2 := slab(scratch, rest[1], bw)
-						s3 := slab(scratch, rest[2], bw)
-						_ = s1[len(g)-1]
-						_ = s2[len(g)-1]
-						_ = s3[len(g)-1]
-						for i, gv := range g {
-							out[i] += v * (((gv + s1[i]) + s2[i]) + s3[i])
-						}
-					default:
-						s1 := slab(scratch, rest[0], bw)
-						s2 := slab(scratch, rest[1], bw)
-						s3 := slab(scratch, rest[2], bw)
-						s4 := slab(scratch, rest[3], bw)
-						_ = s1[len(g)-1]
-						_ = s2[len(g)-1]
-						_ = s3[len(g)-1]
-						_ = s4[len(g)-1]
-						for i, gv := range g {
-							out[i] += v * ((((gv + s1[i]) + s2[i]) + s3[i]) + s4[i])
-						}
-					}
-				}
-			}
-		}
-	}
-	s.Release(mark)
+	c.executeMatrixColsBlocked(dst, cols, pTotal, lo, hi, s)
 }

@@ -209,11 +209,25 @@ func (l *DenseLayer) ForwardInto(dst, in *tensor.Tensor, s *tensor.Scratch) {
 		panic(fmt.Sprintf("ipe: ForwardInto dst %v != [%d %d]", dst.Shape(), n, l.Program.M))
 	}
 	c := l.Program.Compiled()
+	m := l.Program.M
 	mark := s.Mark()
-	scratch := s.Take(c.ScratchLen())
 	od := dst.Data()
-	for b := 0; b < n; b++ {
-		c.ExecuteScratch(in.Data()[b*k:(b+1)*k], od[b*l.Program.M:(b+1)*l.Program.M], scratch)
+	id := in.Data()
+	b := 0
+	if n >= laneCount {
+		// 4 batch rows per stream sweep (bit-identical per lane to the
+		// single-vector walk below).
+		lanes := s.Take(laneCount * c.ScratchLen())
+		for ; b+laneCount <= n; b += laneCount {
+			c.ExecuteScratch4(
+				id[b*k:(b+1)*k], id[(b+1)*k:(b+2)*k], id[(b+2)*k:(b+3)*k], id[(b+3)*k:(b+4)*k],
+				od[b*m:(b+1)*m], od[(b+1)*m:(b+2)*m], od[(b+2)*m:(b+3)*m], od[(b+3)*m:(b+4)*m],
+				lanes)
+		}
+	}
+	scratch := s.Take(c.ScratchLen())
+	for ; b < n; b++ {
+		c.ExecuteScratch(id[b*k:(b+1)*k], od[b*m:(b+1)*m], scratch)
 	}
 	if l.Bias != nil {
 		bd := l.Bias.Data()

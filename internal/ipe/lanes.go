@@ -1,0 +1,163 @@
+package ipe
+
+import "fmt"
+
+// 4-lane tape executors: one pass over the compiled pair and emit streams
+// computes four destination rows (four independent input vectors), so the
+// per-entry decode — stream loads, offset arithmetic, loop control — is
+// amortized 4x and the per-term group sums and row accumulators live in
+// registers as straight-line unrolled locals. The scratchpad interleaves
+// the four lanes per location ([location*4 + lane]), so every pair add and
+// emit read touches one contiguous 16-byte group.
+//
+// Each lane performs the identical operation chain of the single-vector
+// executor — group sums start at 0+firstSym and add symbols in stream
+// order, rows accumulate value*group in term order — so lane l's outputs
+// are bit-identical to ExecuteScratch on lane l's input. The batch users
+// (DenseLayer.ForwardInto, ConvLayer.ForwardInt8) rely on that to keep
+// their conformance families unchanged.
+
+// laneCount is the number of destination rows a lane sweep computes.
+const laneCount = 4
+
+// ExecuteScratch4 evaluates the compiled program on four input vectors in
+// one stream sweep, writing the four output vectors. lanes must hold at
+// least 4*ScratchLen() floats. Results are bit-identical to four
+// ExecuteScratch calls.
+func (c *Compiled) ExecuteScratch4(x0, x1, x2, x3, y0, y1, y2, y3, lanes []float32) {
+	if len(x0) < c.K || len(x1) < c.K || len(x2) < c.K || len(x3) < c.K ||
+		len(y0) < c.M || len(y1) < c.M || len(y2) < c.M || len(y3) < c.M {
+		panic(fmt.Sprintf("ipe: compiled ExecuteScratch4 buffers too small (K=%d M=%d)", c.K, c.M))
+	}
+	if len(lanes) < laneCount*c.ScratchLen() {
+		panic(fmt.Sprintf("ipe: compiled lane scratch %d < %d", len(lanes), laneCount*c.ScratchLen()))
+	}
+	for i := 0; i < c.K; i++ {
+		o := i * 4
+		d := lanes[o : o+4 : o+4]
+		d[0] = x0[i]
+		d[1] = x1[i]
+		d[2] = x2[i]
+		d[3] = x3[i]
+	}
+	pa, pb, pd := c.pairA, c.pairB, c.pairDst
+	for i := range pd {
+		oa := int(pa[i]) * 4
+		ob := int(pb[i]) * 4
+		od := int(pd[i]) * 4
+		a := lanes[oa : oa+4 : oa+4]
+		b := lanes[ob : ob+4 : ob+4]
+		d := lanes[od : od+4 : od+4]
+		d[0] = a[0] + b[0]
+		d[1] = a[1] + b[1]
+		d[2] = a[2] + b[2]
+		d[3] = a[3] + b[3]
+	}
+	symStream, termOff, values, rowOff := c.syms, c.termOff, c.values, c.rowOff
+	for r := 0; r < c.M; r++ {
+		var a0, a1, a2, a3 float32
+		for t := rowOff[r]; t < rowOff[r+1]; t++ {
+			v := values[t]
+			j0, j1 := int(termOff[t]), int(termOff[t+1])
+			o := int(symStream[j0]) * 4
+			s := lanes[o : o+4 : o+4]
+			g0 := 0 + s[0]
+			g1 := 0 + s[1]
+			g2 := 0 + s[2]
+			g3 := 0 + s[3]
+			for j := j0 + 1; j < j1; j++ {
+				o := int(symStream[j]) * 4
+				s := lanes[o : o+4 : o+4]
+				g0 += s[0]
+				g1 += s[1]
+				g2 += s[2]
+				g3 += s[3]
+			}
+			a0 += v * g0
+			a1 += v * g1
+			a2 += v * g2
+			a3 += v * g3
+		}
+		y0[r] = a0
+		y1[r] = a1
+		y2[r] = a2
+		y3[r] = a3
+	}
+}
+
+// ExecuteIntScratch4 is the integer 4-lane sweep: four code vectors in,
+// four exact int64 accumulator vectors out. lanes must hold at least
+// 4*ScratchLen() int64 words. Integer addition is associative and the
+// per-lane order matches anyway, so results equal four ExecuteIntScratch
+// calls exactly.
+func (c *Compiled) ExecuteIntScratch4(x0, x1, x2, x3 []int32, y0, y1, y2, y3, lanes []int64) {
+	if len(x0) < c.K || len(x1) < c.K || len(x2) < c.K || len(x3) < c.K ||
+		len(y0) < c.M || len(y1) < c.M || len(y2) < c.M || len(y3) < c.M {
+		panic(fmt.Sprintf("ipe: compiled ExecuteIntScratch4 buffers too small (K=%d M=%d)", c.K, c.M))
+	}
+	if len(lanes) < laneCount*c.ScratchLen() {
+		panic(fmt.Sprintf("ipe: compiled int lane scratch %d < %d", len(lanes), laneCount*c.ScratchLen()))
+	}
+	for i := 0; i < c.K; i++ {
+		o := i * 4
+		d := lanes[o : o+4 : o+4]
+		d[0] = int64(x0[i])
+		d[1] = int64(x1[i])
+		d[2] = int64(x2[i])
+		d[3] = int64(x3[i])
+	}
+	pa, pb, pd := c.pairA, c.pairB, c.pairDst
+	for i := range pd {
+		oa := int(pa[i]) * 4
+		ob := int(pb[i]) * 4
+		od := int(pd[i]) * 4
+		a := lanes[oa : oa+4 : oa+4]
+		b := lanes[ob : ob+4 : ob+4]
+		d := lanes[od : od+4 : od+4]
+		d[0] = a[0] + b[0]
+		d[1] = a[1] + b[1]
+		d[2] = a[2] + b[2]
+		d[3] = a[3] + b[3]
+	}
+	symStream, termOff, codes, rowOff := c.syms, c.termOff, c.codes, c.rowOff
+	for r := 0; r < c.M; r++ {
+		var a0, a1, a2, a3 int64
+		for t := rowOff[r]; t < rowOff[r+1]; t++ {
+			cd := int64(codes[t])
+			j0, j1 := int(termOff[t]), int(termOff[t+1])
+			o := int(symStream[j0]) * 4
+			s := lanes[o : o+4 : o+4]
+			g0 := s[0]
+			g1 := s[1]
+			g2 := s[2]
+			g3 := s[3]
+			for j := j0 + 1; j < j1; j++ {
+				o := int(symStream[j]) * 4
+				s := lanes[o : o+4 : o+4]
+				g0 += s[0]
+				g1 += s[1]
+				g2 += s[2]
+				g3 += s[3]
+			}
+			a0 += cd * g0
+			a1 += cd * g1
+			a2 += cd * g2
+			a3 += cd * g3
+		}
+		y0[r] = a0
+		y1[r] = a1
+		y2[r] = a2
+		y3[r] = a3
+	}
+}
+
+// RowScales precomputes every row's weight scale (see rowScale) so the
+// integer forward paths requantize with one multiply per output instead of
+// re-walking the row's terms.
+func (p *Program) RowScales() []float32 {
+	scales := make([]float32, p.M)
+	for r := range scales {
+		scales[r] = p.rowScale(r)
+	}
+	return scales
+}

@@ -1,0 +1,101 @@
+package ipe
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestExecuteScratch4MatchesSingle checks the 4-lane float executor lane by
+// lane against ExecuteScratch: each lane must be bit-identical to the
+// single-vector run on that lane's input.
+func TestExecuteScratch4MatchesSingle(t *testing.T) {
+	c := emitProg(t, 16, 150)
+	r := tensor.NewRNG(9)
+	xs := make([][]float32, 4)
+	for l := range xs {
+		xs[l] = make([]float32, c.K)
+		for i := range xs[l] {
+			xs[l][i] = r.Float32()*2 - 1
+		}
+	}
+	ys := make([][]float32, 4)
+	for l := range ys {
+		ys[l] = make([]float32, c.M)
+	}
+	lanes := make([]float32, 4*c.ScratchLen())
+	c.ExecuteScratch4(xs[0], xs[1], xs[2], xs[3], ys[0], ys[1], ys[2], ys[3], lanes)
+
+	want := make([]float32, c.M)
+	scratch := make([]float32, c.ScratchLen())
+	for l := 0; l < 4; l++ {
+		c.ExecuteScratch(xs[l], want, scratch)
+		for i := range want {
+			if ys[l][i] != want[i] {
+				t.Fatalf("lane %d row %d: %x want %x", l, i, ys[l][i], want[i])
+			}
+		}
+	}
+}
+
+// TestExecuteIntScratch4MatchesSingle is the integer analog: exact
+// equality with four ExecuteIntScratch calls.
+func TestExecuteIntScratch4MatchesSingle(t *testing.T) {
+	c := emitProg(t, 64, 27)
+	r := tensor.NewRNG(11)
+	xs := make([][]int32, 4)
+	for l := range xs {
+		xs[l] = make([]int32, c.K)
+		for i := range xs[l] {
+			xs[l][i] = int32(r.Uint64()%255) - 127
+		}
+	}
+	ys := make([][]int64, 4)
+	for l := range ys {
+		ys[l] = make([]int64, c.M)
+	}
+	lanes := make([]int64, 4*c.ScratchLen())
+	c.ExecuteIntScratch4(xs[0], xs[1], xs[2], xs[3], ys[0], ys[1], ys[2], ys[3], lanes)
+
+	want := make([]int64, c.M)
+	scratch := make([]int64, c.ScratchLen())
+	for l := 0; l < 4; l++ {
+		c.ExecuteIntScratch(xs[l], want, scratch)
+		for i := range want {
+			if ys[l][i] != want[i] {
+				t.Fatalf("lane %d row %d: %d want %d", l, i, ys[l][i], want[i])
+			}
+		}
+	}
+}
+
+// TestDenseForwardBatchRemainders drives DenseLayer.ForwardInto across
+// batch sizes straddling the 4-lane boundary (1..9), checking every row
+// equals the single-vector execution (lane main path + remainder path).
+func TestDenseForwardBatchRemainders(t *testing.T) {
+	const m, k = 16, 150
+	w := tensor.New(m, k)
+	tensor.FillGaussian(w, tensor.NewRNG(3), 1)
+	layer, _, err := EncodeDense(w, nil, 4, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := layer.Program.Compiled()
+	for n := 1; n <= 9; n++ {
+		in := tensor.New(n, k)
+		tensor.FillGaussian(in, tensor.NewRNG(uint64(n)), 1)
+		out := tensor.New(n, m)
+		var s tensor.Scratch
+		layer.ForwardInto(out, in, &s)
+		want := make([]float32, m)
+		scratch := make([]float32, c.ScratchLen())
+		for b := 0; b < n; b++ {
+			c.ExecuteScratch(in.Data()[b*k:(b+1)*k], want, scratch)
+			for i := range want {
+				if out.Data()[b*m+i] != want[i] {
+					t.Fatalf("n=%d row %d out %d: %x want %x", n, b, i, out.Data()[b*m+i], want[i])
+				}
+			}
+		}
+	}
+}

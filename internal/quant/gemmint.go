@@ -1,0 +1,141 @@
+package quant
+
+import "fmt"
+
+// Integer GEMM microkernels for quantized codes.
+//
+// The float serving path evaluates quantized layers by dequantizing into
+// float kernels; a fixed-point deployment multiplies the narrow codes
+// directly and accumulates in int32. These kernels are the register-blocked
+// form of that loop: a 4x4 block of int32 accumulators lives in locals and
+// each k step issues 8 narrow loads for 16 multiply-accumulates, widening
+// once per operand instead of once per product. The generic driver is
+// stenciled per element type (int8 and int16 have distinct gcshapes), so
+// the inner loop compiles to direct loads with no indirection.
+//
+// Integer addition is associative, so unlike the float microkernels there
+// is no accumulation-order caveat: results are exact and bit-equal to the
+// naive triple loop whenever the true product sums fit in int32.
+//
+// Overflow bounds (caller's contract): |int8 product| <= 2^14, so any
+// k <= 2^16 is safe at 8 bits; at 16 bits |product| <= 2^30, so the caller
+// must keep k times the worst-case product below 2^31 (true for the
+// narrow-bit-width codes Quantize emits, which use far fewer than 16 bits).
+
+// GemmInt8 computes C = A·B over int8 codes with int32 accumulation.
+// A is [m, k], B is [k, n], C is [m, n], all row-major.
+func GemmInt8(a, b []int8, c []int32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("quant: GemmInt8 buffer too small for m=%d k=%d n=%d", m, k, n))
+	}
+	gemmIntBlocked(a, b, c, m, k, n)
+}
+
+// GemmInt16 computes C = A·B over int16 codes with int32 accumulation.
+func GemmInt16(a, b []int16, c []int32, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("quant: GemmInt16 buffer too small for m=%d k=%d n=%d", m, k, n))
+	}
+	gemmIntBlocked(a, b, c, m, k, n)
+}
+
+// gemmIntBlocked is the shared register-blocked driver: full 4x4 tiles run
+// the unrolled microkernel, the bottom and right edge strips fall back to
+// scalar dot products (identical sums — integer addition is associative).
+func gemmIntBlocked[T int8 | int16](a, b []T, c []int32, m, k, n int) {
+	for i0 := 0; i0+4 <= m; i0 += 4 {
+		r0 := a[i0*k : i0*k+k]
+		r1 := a[(i0+1)*k : (i0+1)*k+k]
+		r2 := a[(i0+2)*k : (i0+2)*k+k]
+		r3 := a[(i0+3)*k : (i0+3)*k+k]
+		for j0 := 0; j0+4 <= n; j0 += 4 {
+			var c00, c01, c02, c03 int32
+			var c10, c11, c12, c13 int32
+			var c20, c21, c22, c23 int32
+			var c30, c31, c32, c33 int32
+			for p := 0; p < k; p++ {
+				bv := b[p*n+j0 : p*n+j0+4 : p*n+j0+4]
+				b0, b1, b2, b3 := int32(bv[0]), int32(bv[1]), int32(bv[2]), int32(bv[3])
+				a0 := int32(r0[p])
+				c00 += a0 * b0
+				c01 += a0 * b1
+				c02 += a0 * b2
+				c03 += a0 * b3
+				a1 := int32(r1[p])
+				c10 += a1 * b0
+				c11 += a1 * b1
+				c12 += a1 * b2
+				c13 += a1 * b3
+				a2 := int32(r2[p])
+				c20 += a2 * b0
+				c21 += a2 * b1
+				c22 += a2 * b2
+				c23 += a2 * b3
+				a3 := int32(r3[p])
+				c30 += a3 * b0
+				c31 += a3 * b1
+				c32 += a3 * b2
+				c33 += a3 * b3
+			}
+			w0 := c[i0*n+j0 : i0*n+j0+4 : i0*n+j0+4]
+			w1 := c[(i0+1)*n+j0 : (i0+1)*n+j0+4 : (i0+1)*n+j0+4]
+			w2 := c[(i0+2)*n+j0 : (i0+2)*n+j0+4 : (i0+2)*n+j0+4]
+			w3 := c[(i0+3)*n+j0 : (i0+3)*n+j0+4 : (i0+3)*n+j0+4]
+			w0[0], w0[1], w0[2], w0[3] = c00, c01, c02, c03
+			w1[0], w1[1], w1[2], w1[3] = c10, c11, c12, c13
+			w2[0], w2[1], w2[2], w2[3] = c20, c21, c22, c23
+			w3[0], w3[1], w3[2], w3[3] = c30, c31, c32, c33
+		}
+	}
+	// Edge strips: bottom rows past the last full 4-row block, right
+	// columns past the last full 4-column block.
+	mFull, nFull := m&^3, n&^3
+	for i := 0; i < mFull; i++ {
+		row := a[i*k : i*k+k]
+		for j := nFull; j < n; j++ {
+			var acc int32
+			for p, av := range row {
+				acc += int32(av) * int32(b[p*n+j])
+			}
+			c[i*n+j] = acc
+		}
+	}
+	for i := mFull; i < m; i++ {
+		row := a[i*k : i*k+k]
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p, av := range row {
+				acc += int32(av) * int32(b[p*n+j])
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
+
+// NarrowCodes8 converts int32 codes to int8, reporting whether every code
+// fit (codes from Quantize at bits <= 8 always do).
+func NarrowCodes8(codes []int32) ([]int8, bool) {
+	out := make([]int8, len(codes))
+	ok := true
+	for i, v := range codes {
+		if v < -128 || v > 127 {
+			ok = false
+		}
+		out[i] = int8(v)
+	}
+	return out, ok
+}
+
+// NarrowCodes16 converts int32 codes to int16, reporting whether every
+// code fit.
+func NarrowCodes16(codes []int32) ([]int16, bool) {
+	out := make([]int16, len(codes))
+	ok := true
+	for i, v := range codes {
+		if v < -32768 || v > 32767 {
+			ok = false
+		}
+		out[i] = int16(v)
+	}
+	return out, ok
+}

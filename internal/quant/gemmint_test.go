@@ -1,0 +1,158 @@
+package quant
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// gemmIntNaive is the triple-loop int64 oracle; the blocked kernels must
+// match it bit-exactly after narrowing to int32 (the shapes used keep sums
+// inside int32).
+func gemmIntNaive(at func(i int) int32, bt func(i int) int32, m, k, n int) []int32 {
+	c := make([]int64, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				c[i*n+j] += int64(at(i*k+p)) * int64(bt(p*n+j))
+			}
+		}
+	}
+	out := make([]int32, m*n)
+	for i, v := range c {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// TestGemmIntExact sweeps every m and n remainder against the 4x4 tile
+// (including degenerate m < 4 / n < 4 shapes) and checks the int8 and
+// int16 kernels against the oracle exactly.
+func TestGemmIntExact(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for m := 1; m <= 9; m++ {
+		for n := 1; n <= 9; n++ {
+			for _, k := range []int{1, 2, 3, 7, 64, 129} {
+				a8 := make([]int8, m*k)
+				b8 := make([]int8, k*n)
+				for i := range a8 {
+					a8[i] = int8(r.Intn(256) - 128)
+				}
+				for i := range b8 {
+					b8[i] = int8(r.Intn(256) - 128)
+				}
+				want := gemmIntNaive(
+					func(i int) int32 { return int32(a8[i]) },
+					func(i int) int32 { return int32(b8[i]) }, m, k, n)
+				got := make([]int32, m*n)
+				GemmInt8(a8, b8, got, m, k, n)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("int8 m=%d k=%d n=%d: [%d]=%d want %d", m, k, n, i, got[i], want[i])
+					}
+				}
+
+				a16 := make([]int16, m*k)
+				b16 := make([]int16, k*n)
+				for i := range a16 {
+					a16[i] = int16(r.Intn(1<<12) - 1<<11)
+				}
+				for i := range b16 {
+					b16[i] = int16(r.Intn(1<<12) - 1<<11)
+				}
+				want16 := gemmIntNaive(
+					func(i int) int32 { return int32(a16[i]) },
+					func(i int) int32 { return int32(b16[i]) }, m, k, n)
+				got16 := make([]int32, m*n)
+				GemmInt16(a16, b16, got16, m, k, n)
+				for i := range want16 {
+					if got16[i] != want16[i] {
+						t.Fatalf("int16 m=%d k=%d n=%d: [%d]=%d want %d", m, k, n, i, got16[i], want16[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmIntQuantizedCodes runs the int8 kernel on real Quantize output
+// (narrowed codes of a quantized weight matrix) against the oracle.
+func TestGemmIntQuantizedCodes(t *testing.T) {
+	const m, k, n = 13, 50, 11
+	rng := tensor.NewRNG(5)
+	wt := tensor.New(m, k)
+	xt := tensor.New(k, n)
+	tensor.FillGaussian(wt, rng, 1)
+	tensor.FillGaussian(xt, rng, 1)
+	qw := Quantize(wt, 8, PerTensor)
+	qx := Quantize(xt, 8, PerTensor)
+	a8, ok := NarrowCodes8(qw.Codes)
+	if !ok {
+		t.Fatal("8-bit weight codes must fit int8")
+	}
+	b8, ok := NarrowCodes8(qx.Codes)
+	if !ok {
+		t.Fatal("8-bit activation codes must fit int8")
+	}
+	want := gemmIntNaive(
+		func(i int) int32 { return qw.Codes[i] },
+		func(i int) int32 { return qx.Codes[i] }, m, k, n)
+	got := make([]int32, m*n)
+	GemmInt8(a8, b8, got, m, k, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNarrowCodes(t *testing.T) {
+	if _, ok := NarrowCodes8([]int32{127, -128}); !ok {
+		t.Fatal("in-range int8 codes must narrow")
+	}
+	if _, ok := NarrowCodes8([]int32{128}); ok {
+		t.Fatal("128 must not narrow to int8")
+	}
+	if _, ok := NarrowCodes16([]int32{32767, -32768}); !ok {
+		t.Fatal("in-range int16 codes must narrow")
+	}
+	if _, ok := NarrowCodes16([]int32{-32769}); ok {
+		t.Fatal("-32769 must not narrow to int16")
+	}
+}
+
+func BenchmarkGemmInt(b *testing.B) {
+	for _, sz := range [][3]int{{64, 288, 256}, {120, 400, 16}} {
+		m, k, n := sz[0], sz[1], sz[2]
+		r := rand.New(rand.NewSource(int64(m + k + n)))
+		a8 := make([]int8, m*k)
+		b8 := make([]int8, k*n)
+		for i := range a8 {
+			a8[i] = int8(r.Intn(256) - 128)
+		}
+		for i := range b8 {
+			b8[i] = int8(r.Intn(256) - 128)
+		}
+		a16 := make([]int16, m*k)
+		b16 := make([]int16, k*n)
+		for i := range a16 {
+			a16[i] = int16(a8[i])
+		}
+		for i := range b16 {
+			b16[i] = int16(b8[i])
+		}
+		c := make([]int32, m*n)
+		b.Run(fmt.Sprintf("int8/m%d_k%d_n%d", m, k, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GemmInt8(a8, b8, c, m, k, n)
+			}
+		})
+		b.Run(fmt.Sprintf("int16/m%d_k%d_n%d", m, k, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GemmInt16(a16, b16, c, m, k, n)
+			}
+		})
+	}
+}

@@ -114,9 +114,9 @@ func (p *Plan) newExecutor(rec *metrics.Recorder) *Executor {
 	for i, ps := range p.steps {
 		var (
 			op   *CompiledOp
-			n    *graph.Node   // dispatch node (region head for fused steps)
-			outN *graph.Node   // node whose buffer the step writes
-			name string        // metrics series name
+			n    *graph.Node // dispatch node (region head for fused steps)
+			outN *graph.Node // node whose buffer the step writes
+			name string      // metrics series name
 			re   *regionExec
 		)
 		if ps.region != nil {
@@ -278,21 +278,37 @@ func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
 		for j, id := range st.insIDs {
 			st.ins[j] = e.slots[id]
 		}
-		impl, kernel := st.op.Impl, st.kernel
+		impl, kernel, stats := st.op.Impl, st.kernel, st.stats
+		armPar := 0
 		if lt != nil && lt.perStep[i] != nil {
-			impl = lt.arms[i][lt.perStep[i].Choose()]
-			if st.stats != nil {
+			arm := lt.arms[i][lt.perStep[i].Choose()]
+			impl, armPar = arm.impl, arm.par
+			if stats != nil {
 				kernel = stepKernelFor(st.node.Kind, impl)
+				if armPar > 0 && e.rec != nil {
+					// Parallelism-qualified arms record into their own
+					// series ("layer@pN") so the bandit can separate
+					// same-impl latencies across shard counts.
+					stats = e.rec.Layer(arm.series)
+				}
 			}
+		}
+		prevPar := 0
+		if armPar > 0 {
+			prevPar = e.par.Shards()
+			e.par.SetShards(armPar)
 		}
 		e.par.Reset()
 		var err error
-		if st.stats != nil {
+		if stats != nil {
 			t0 := time.Now()
 			err = e.dispatchStep(st, impl)
-			st.stats.Record(kernel, time.Since(t0).Nanoseconds(), batch)
+			stats.Record(kernel, time.Since(t0).Nanoseconds(), batch)
 		} else {
 			err = e.dispatchStep(st, impl)
+		}
+		if prevPar > 0 {
+			e.par.SetShards(prevPar)
 		}
 		if err != nil {
 			e.dropInputRefs()
@@ -440,6 +456,11 @@ func (e *Executor) runStep(st *execStep, impl Impl) error {
 		denseFactorizedInto(dst, st.ins[0], op.factDense, op.denseBias)
 	case n.Kind == graph.OpDense && impl == ImplIPE:
 		op.ipeDense.ForwardInto(dst, st.ins[0], e.par.Scratch(0))
+	case n.Kind == graph.OpDense && impl == ImplDense:
+		// Packed register-microkernel GEMM; bit-identical to DenseIntoPar
+		// (same per-element products in the same ascending-k order), so
+		// switching the serving path is numerically invisible.
+		tensor.DenseGemmIntoPar(dst, st.ins[0], op.denseWeight, op.denseBias, e.par)
 	default:
 		// EvalNodeIntoPar already applies FusedReLU.
 		return graph.EvalNodeIntoPar(dst, n, st.ins, e.par)

@@ -167,7 +167,9 @@ func TestExecutorBitIdenticalMobileNet(t *testing.T) {
 // execution allocates the closures its parallel regions need; the
 // zero-alloc guarantee is documented for the serial setting.)
 func TestExecutorSteadyStateZeroAllocs(t *testing.T) {
-	for _, force := range []Impl{ImplAuto, ImplIPE, ImplCSR, ImplFactorized} {
+	// ImplDense covers the packed-GEMM serving path (DenseGemmIntoPar):
+	// its panel buffers must come from the per-shard scratch, not the heap.
+	for _, force := range []Impl{ImplAuto, ImplDense, ImplIPE, ImplCSR, ImplFactorized} {
 		t.Run(force.String(), func(t *testing.T) {
 			g := nn.LeNet5(1, 13)
 			p, err := Compile(g, Options{Force: force})

@@ -162,14 +162,15 @@ type CompiledOp struct {
 	// layers; empty for untunable operators).
 	shapeKey string
 
-	ipeConv   *ipe.ConvLayer
-	ipeDense  *ipe.DenseLayer
-	csrConv   *baseline.ConvCSR
-	csrDense  *baseline.CSR
-	factConv  *baseline.ConvFactorized
-	factDense *baseline.Factorized
-	winConv   *baseline.ConvWinograd
-	denseBias *tensor.Tensor
+	ipeConv     *ipe.ConvLayer
+	ipeDense    *ipe.DenseLayer
+	csrConv     *baseline.ConvCSR
+	csrDense    *baseline.CSR
+	factConv    *baseline.ConvFactorized
+	factDense   *baseline.Factorized
+	winConv     *baseline.ConvWinograd
+	denseWeight *tensor.Tensor
+	denseBias   *tensor.Tensor
 }
 
 // Plan is a compiled, memory-planned, implementation-selected graph.
@@ -436,10 +437,11 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 	m, k := weight.Dim(0), weight.Dim(1)
 	batch := n.Inputs[0].OutShape[0]
 	op := CompiledOp{
-		Node:       n,
-		Candidates: make(map[Impl]accel.Result),
-		profiles:   make(map[Impl]accel.KernelProfile),
-		denseBias:  bias,
+		Node:        n,
+		Candidates:  make(map[Impl]accel.Result),
+		profiles:    make(map[Impl]accel.KernelProfile),
+		denseWeight: weight,
+		denseBias:   bias,
 	}
 
 	scaleCost := func(c ipe.Cost) ipe.Cost {

@@ -44,6 +44,24 @@ type TunerConfig struct {
 	// the Options.TunePar the plan compiles with (0 = default serving
 	// configuration).
 	Par int
+	// ParArms lists additional intra-op parallelism levels the bandit
+	// explores: every implementation arm is crossed with every listed level
+	// (arm "impl@pN"), alongside the plain arms at the serving parallelism.
+	// Explored executions temporarily reshards the executor and record into
+	// a distinct "layer@pN" metrics series so per-arm latency stays
+	// separable; promoted parallelism-qualified winners keep routing at
+	// their parallelism and are written back under it. Empty means impls
+	// only (the previous behavior).
+	ParArms []int
+}
+
+// tunedArm is one routable bandit arm: an implementation plus an optional
+// parallelism override (0 = the executor's serving parallelism), with the
+// metrics series its executions are recorded under precomputed.
+type tunedArm struct {
+	impl   Impl
+	par    int
+	series string
 }
 
 // liveTuner is the routing state installed on Plan.live while tuning is
@@ -52,7 +70,7 @@ type TunerConfig struct {
 type liveTuner struct {
 	tuner   *autotune.Bandit
 	perStep []*autotune.LayerTuner
-	arms    [][]Impl
+	arms    [][]tunedArm
 }
 
 // metricsArmReader adapts the metrics recorder's per-kernel layer series to
@@ -61,9 +79,17 @@ type liveTuner struct {
 // samples this poll" (the bandit's delta logic tolerates series resets)
 // instead of pinning a dead recorder.
 type metricsArmReader struct {
-	// kernels maps "layer|arm" to the kernel tag that arm's executions are
-	// recorded under for that layer.
-	kernels map[string]metrics.Kernel
+	// series maps "layer|arm" to the metrics series and kernel tag that
+	// arm's executions are recorded under. Parallelism-qualified arms get
+	// their own "layer@pN" series so same-impl arms at different shard
+	// counts never pool their latencies.
+	series map[string]armSeries
+}
+
+// armSeries locates one arm's latency series in the metrics recorder.
+type armSeries struct {
+	layer  string
+	kernel metrics.Kernel
 }
 
 func (r *metricsArmReader) Sample(layer, arm string) autotune.ArmSample {
@@ -71,11 +97,11 @@ func (r *metricsArmReader) Sample(layer, arm string) autotune.ArmSample {
 	if rec == nil {
 		return autotune.ArmSample{}
 	}
-	k, ok := r.kernels[layer+"|"+arm]
+	s, ok := r.series[layer+"|"+arm]
 	if !ok {
 		return autotune.ArmSample{}
 	}
-	count, sum := rec.Layer(layer).KernelSample(k)
+	count, sum := rec.Layer(s.layer).KernelSample(s.kernel)
 	return autotune.ArmSample{Count: count, SumNs: sum}
 }
 
@@ -107,28 +133,43 @@ func (p *Plan) StartTuner(cfg TunerConfig) (*PlanTuner, error) {
 		cfg.Store = autotune.NewStore()
 	}
 
-	reader := &metricsArmReader{kernels: make(map[string]metrics.Kernel)}
+	reader := &metricsArmReader{series: make(map[string]armSeries)}
 	var (
 		decls   []autotune.TunedLayer
 		stepIdx []int // plan step index of each declared layer
-		armSets [][]Impl
+		armSets [][]tunedArm
 	)
 	for i, ps := range p.steps {
 		if ps.op == nil || ps.region != nil {
 			continue
 		}
-		arms := ps.op.tunableArms()
-		if len(arms) < 2 || ps.op.shapeKey == "" {
+		impls := ps.op.tunableArms()
+		if len(impls) < 2 || ps.op.shapeKey == "" {
 			continue
 		}
 		name := p.MetricsPrefix + ps.op.Node.Name
-		names := make([]string, len(arms))
-		initial := -1
-		for j, im := range arms {
-			names[j] = im.String()
-			reader.kernels[name+"|"+names[j]] = stepKernelFor(ps.op.Node.Kind, im)
+		var (
+			names   []string
+			arms    []tunedArm
+			initial = -1
+		)
+		for _, im := range impls {
+			kernel := stepKernelFor(ps.op.Node.Kind, im)
 			if im == ps.op.Impl {
-				initial = j
+				initial = len(arms)
+			}
+			names = append(names, autotune.ArmName(im.String(), 0))
+			arms = append(arms, tunedArm{impl: im, series: name})
+			reader.series[name+"|"+names[len(names)-1]] = armSeries{layer: name, kernel: kernel}
+			for _, pa := range cfg.ParArms {
+				if pa <= 0 {
+					continue
+				}
+				an := autotune.ArmName(im.String(), pa)
+				series := fmt.Sprintf("%s@p%d", name, pa)
+				names = append(names, an)
+				arms = append(arms, tunedArm{impl: im, par: pa, series: series})
+				reader.series[name+"|"+an] = armSeries{layer: series, kernel: kernel}
 			}
 		}
 		if initial < 0 {
@@ -148,7 +189,7 @@ func (p *Plan) StartTuner(cfg TunerConfig) (*PlanTuner, error) {
 	lt := &liveTuner{
 		tuner:   tuner,
 		perStep: make([]*autotune.LayerTuner, len(p.steps)),
-		arms:    make([][]Impl, len(p.steps)),
+		arms:    make([][]tunedArm, len(p.steps)),
 	}
 	// NewBandit keeps >=2-arm layers in declaration order, and every decl
 	// has >=2 arms, so tuner.Layers() aligns 1:1 with decls.

@@ -53,6 +53,9 @@ func ConvImpls() []ConvImpl {
 				{Name: "alloc", F: func(dst, in, w, b *Tensor, spec ConvSpec, par *Par) {
 					copy(dst.Data(), Conv2DIm2col(in, w, b, spec).Data())
 				}},
+				{Name: "blocked", F: func(dst, in, w, b *Tensor, spec ConvSpec, par *Par) {
+					copy(dst.Data(), Conv2DIm2colBlocked(in, w, b, spec, par.Scratch(0)).Data())
+				}},
 			},
 		},
 	}
@@ -74,8 +77,9 @@ type DenseVariant struct {
 }
 
 // DenseImpls enumerates the dense families: the per-output dot-product
-// kernel (serial and sharded, one family) and the blocked GEMM on the
-// transposed weight (its own family).
+// kernel (serial and sharded, one family) and the GEMM lowerings (its own
+// family: cache-blocked GEMM on the materialized transpose plus the packed
+// register-microkernel paths, all bit-identical).
 func DenseImpls() []DenseImpl {
 	return []DenseImpl{
 		{
@@ -100,6 +104,12 @@ func DenseImpls() []DenseImpl {
 				}},
 				{Name: "par", UsesPar: true, F: func(dst, in, w, b *Tensor, par *Par) {
 					denseViaGemm(dst, in, w, b, par)
+				}},
+				{Name: "blocked", F: func(dst, in, w, b *Tensor, par *Par) {
+					DenseGemmInto(dst, in, w, b, par.Scratch(0))
+				}},
+				{Name: "blocked-par", UsesPar: true, F: func(dst, in, w, b *Tensor, par *Par) {
+					DenseGemmIntoPar(dst, in, w, b, par)
 				}},
 			},
 		},

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzGemmBlockedMatchesNaive is a differential fuzz target over the packed
+// register-blocked GEMM: for fuzzer-chosen shapes and matrix contents,
+// GemmBlocked must be bit-identical to the naive triple loop. The packed
+// path commits to the same per-element ascending-k accumulation chain as
+// Gemm, so over finite inputs any divergence — including signed zeros and
+// subnormals — is a microkernel bug, never tolerance. Inputs are remapped
+// to finite floats because Gemm's zero-row skip is observable under IEEE
+// non-finites (0·Inf = NaN is skipped by the naive loop).
+func FuzzGemmBlockedMatchesNaive(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint16(4), []byte{0x3f, 0x80, 0x00, 0x00})
+	f.Add(uint8(7), uint8(9), uint16(513), []byte{0xff, 0xc0, 0x00, 0x01, 0x80, 0x00, 0x00, 0x00})
+	f.Add(uint8(1), uint8(17), uint16(2), []byte{0x00})
+	f.Fuzz(func(t *testing.T, mRaw, nRaw uint8, kRaw uint16, data []byte) {
+		// Bound the shape so one input stays fast while still crossing every
+		// micro-tile edge case (both microkernel sizes, remainder tiles) and
+		// the k-panel boundary at gemmKC.
+		m := int(mRaw)%24 + 1
+		n := int(nRaw)%24 + 1
+		k := int(kRaw)%(gemmKC+64) + 1
+		at := func(i int) float32 {
+			if len(data) == 0 {
+				return 0
+			}
+			var w [4]byte
+			for j := range w {
+				w[j] = data[(i*4+j)%len(data)]
+			}
+			bits := binary.LittleEndian.Uint32(w[:])
+			if bits&0x7f800000 == 0x7f800000 {
+				bits &^= 0x40000000 // demote Inf/NaN exponents to a large finite value
+			}
+			return math.Float32frombits(bits)
+		}
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		for i := range a {
+			a[i] = at(i)
+		}
+		for i := range b {
+			b[i] = at(i + len(a))
+		}
+		want := make([]float32, m*n)
+		got := make([]float32, m*n)
+		Gemm(a, b, want, m, k, n)
+		GemmBlocked(a, b, got, m, k, n, &Scratch{})
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("m=%d k=%d n=%d: c[%d] = %x (blocked) vs %x (naive)",
+					m, k, n, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	})
+}
