@@ -13,10 +13,18 @@ FUZZ_TARGETS := \
 	./internal/conformance:FuzzConformanceDense \
 	./internal/conformance:FuzzConformanceProgram \
 	./internal/conformance:FuzzConformanceGraph \
+	./internal/conformance:FuzzConformanceSharedDict \
+	./internal/registry:FuzzRegistrySwap \
 	./internal/autotune:FuzzStoreDecode \
 	./internal/tensor:FuzzGemmBlockedMatchesNaive
 
-.PHONY: verify build test race vet staticcheck fuzz cover bench bench-smoke bench-micro bench-json bench-json3 bench-check serve-smoke autotune-sim
+# Serving-path coverage gate: the packages behind the HTTP front end, their
+# committed floor, and where the profile lands. 80.3% measured when the
+# floor was set; the gate fails below 75% so refactors keep their tests.
+COVER_PKGS := ./internal/serve ./internal/runtime ./internal/registry
+COVER_FLOOR := 75.0
+
+.PHONY: verify build test race vet staticcheck fuzz cover cover-floor bench bench-smoke bench-micro bench-json bench-json3 bench-check serve-smoke multi-model-smoke autotune-sim
 
 verify: build test race vet
 
@@ -56,6 +64,15 @@ fuzz:
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Coverage floor over the serving path (serve, runtime, registry): fails
+# when total statement coverage drops below COVER_FLOOR. Blocking in CI.
+cover-floor:
+	$(GO) test -coverprofile=cover-serving.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover-serving.out | tail -n 1 | awk '{print $$NF}' | tr -d '%'); \
+	echo "serving-path coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "cover-floor: coverage $$total% is below the committed $(COVER_FLOOR)% floor"; exit 1; }
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -121,3 +138,24 @@ serve-smoke:
 	addr=$$(cat $$dir/addr); \
 	$$dir/inspire-load -url http://$$addr -models lenet5,squeezenet \
 		-clients 32 -duration 3s -fail
+
+# Multi-model hot-swap smoke: boot inspire-serve with both models sharing
+# one dictionary store, fire concurrent load at both endpoints, and POST a
+# new lenet5 weight version halfway through the run. -fail trips on any
+# dropped (429) or failed request, any response naming the wrong model, any
+# client observing a version regression, or a failed swap — the zero-drop
+# hot-swap contract, end to end over real HTTP. Blocking in CI.
+multi-model-smoke:
+	@set -e; \
+	dir=$$(mktemp -d /tmp/inspire-mm-smoke.XXXXXX); \
+	trap 'rm -rf $$dir' EXIT; \
+	$(GO) build -o $$dir/inspire-serve ./cmd/inspire-serve; \
+	$(GO) build -o $$dir/inspire-load ./cmd/inspire-load; \
+	$$dir/inspire-serve -addr 127.0.0.1:0 -addrfile $$dir/addr -force ipe & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
+	i=0; while [ $$i -lt 100 ] && ! [ -s $$dir/addr ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s $$dir/addr ] || { echo "multi-model-smoke: server never bound"; exit 1; }; \
+	addr=$$(cat $$dir/addr); \
+	$$dir/inspire-load -url http://$$addr -models lenet5,squeezenet \
+		-clients 16 -duration 5s -swap-model lenet5 -swap-seed 5 -fail

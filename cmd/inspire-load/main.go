@@ -7,9 +7,16 @@
 //	inspire-load -models lenet5,squeezenet -clients 1000 -duration 10s
 //	inspire-load -clients 200 -items 4 -json
 //	inspire-load -fail   # exit 1 on any dropped (429) or failed request
+//	inspire-load -swap-model lenet5 -swap-seed 2   # hot-swap mid-run
 //
 // With several -models the client count is split evenly across them and
-// the endpoints run concurrently (one report per endpoint).
+// the endpoints run concurrently (one report per endpoint). Every 200
+// response body is verified: it must name the requested model (mis-routes
+// are counted) and each closed-loop client's observed version sequence must
+// be non-decreasing across hot swaps. With -swap-model the driver POSTs a
+// version load for that model halfway through the run (or at -swap-after),
+// so a single invocation proves drain-without-drops under swap; -fail then
+// also trips on mis-routes, version regressions, or a failed swap.
 package main
 
 import (
@@ -33,7 +40,11 @@ func main() {
 	items := flag.Int("items", 1, "request batch size in compiled-batch chunks")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	jsonOut := flag.Bool("json", false, "emit the reports as JSON instead of a table")
-	fail := flag.Bool("fail", false, "exit non-zero if any request was dropped (429) or failed")
+	fail := flag.Bool("fail", false,
+		"exit non-zero on any dropped (429) or failed request, mis-route, version regression, or failed swap")
+	swapModel := flag.String("swap-model", "", "hot-swap this model mid-run (POST a new version while firing)")
+	swapSeed := flag.Uint64("swap-seed", 1, "weight seed for the swapped-in version")
+	swapAfter := flag.Duration("swap-after", 0, "when to fire the swap (0 = halfway through -duration)")
 	flag.Parse()
 
 	var names []string
@@ -58,14 +69,22 @@ func main() {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			reports[i], errs[i] = serve.RunLoad(serve.LoadConfig{
+			cfg := serve.LoadConfig{
 				URL:      *url,
 				Model:    name,
 				Clients:  per,
 				Duration: *duration,
 				Items:    *items,
 				Timeout:  *timeout,
-			})
+			}
+			// The first endpoint's run drives the swap so it fires exactly
+			// once even when several models run concurrently.
+			if i == 0 && *swapModel != "" {
+				cfg.SwapModel = *swapModel
+				cfg.SwapSeed = *swapSeed
+				cfg.SwapAfter = *swapAfter
+			}
+			reports[i], errs[i] = serve.RunLoad(cfg)
 		}(i, name)
 	}
 	wg.Wait()
@@ -90,8 +109,8 @@ func main() {
 		}
 	} else {
 		t := report.NewTable(fmt.Sprintf("load (%d clients, %v)", per*len(names), *duration),
-			"endpoint", "clients", "ok", "dropped", "failed", "qps",
-			"p50", "p90", "p99", "max", "mean batch", "srv p99")
+			"endpoint", "clients", "ok", "dropped", "failed", "misrouted",
+			"versions", "qps", "p50", "p90", "p99", "max", "mean batch", "srv p99")
 		for _, r := range reports {
 			t.AddRow(
 				r.Model,
@@ -99,6 +118,8 @@ func main() {
 				report.Count(r.OK),
 				report.Count(r.Dropped),
 				report.Count(r.Failed),
+				report.Count(r.MisRouted),
+				fmt.Sprintf("v%d-v%d", r.MinVersion, r.MaxVersion),
 				report.Num(r.QPS),
 				r.P50.Round(time.Microsecond).String(),
 				r.P90.Round(time.Microsecond).String(),
@@ -109,15 +130,26 @@ func main() {
 			)
 		}
 		t.Fprint(os.Stdout)
+		if *swapModel != "" {
+			r := reports[0]
+			fmt.Printf("swap: %s -> v%d (status %d)\n", *swapModel, r.SwapVersion, r.SwapStatus)
+		}
 	}
 
 	if *fail {
 		for _, r := range reports {
-			if r.Dropped > 0 || r.Failed > 0 || r.OK == 0 {
-				fmt.Fprintf(os.Stderr, "inspire-load: %s: ok=%d dropped=%d failed=%d\n",
-					r.Model, r.OK, r.Dropped, r.Failed)
+			if r.Dropped > 0 || r.Failed > 0 || r.OK == 0 ||
+				r.MisRouted > 0 || r.VersionRegressions > 0 {
+				fmt.Fprintf(os.Stderr,
+					"inspire-load: %s: ok=%d dropped=%d failed=%d misrouted=%d regressions=%d\n",
+					r.Model, r.OK, r.Dropped, r.Failed, r.MisRouted, r.VersionRegressions)
 				os.Exit(1)
 			}
+		}
+		if *swapModel != "" && reports[0].SwapStatus != 200 {
+			fmt.Fprintf(os.Stderr, "inspire-load: swap %s failed with status %d\n",
+				*swapModel, reports[0].SwapStatus)
+			os.Exit(1)
 		}
 	}
 }

@@ -48,7 +48,6 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ipe"
 	"repro/internal/metrics"
-	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/quant"
@@ -189,11 +188,11 @@ func benchSharding() {
 		func() { prog.ExecuteMatrixIntoPar(idst, cols.Data(), pTotal, par); par.Reset() },
 	))
 
-	// End-to-end executor on LeNet-5 with the paper's encoding forced.
-	g := nn.LeNet5(1, 9)
-	plan, err := runtime.Compile(g, runtime.Options{Force: runtime.ImplIPE, Bits: 4})
+	// End-to-end executor on LeNet-5 with the paper's encoding forced,
+	// compiled through the same path inspire-serve serves it from.
+	plan, err := obs.CompilePlan("lenet5", 0, runtime.Options{Force: runtime.ImplIPE, Bits: 4})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "inspire-perf: compile: %v\n", err)
+		fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
 		os.Exit(1)
 	}
 	in := tensor.New(1, 1, 28, 28)
@@ -397,21 +396,18 @@ func benchCompiled(withMetrics, withSched bool) {
 		fmt.Fprintf(os.Stderr, "inspire-perf: %v\n", err)
 		os.Exit(1)
 	}
-	models := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"lenet5", nn.LeNet5(1, 9)},
-		{"squeezenet", nn.SqueezeNet(1, 32, 10, 11)},
-	}
+	// The evaluation models come from the same constructor the serving
+	// registry compiles from (obs.GraphByName under the default seeds), so
+	// the layers timed here are byte-for-byte the layers inspire-serve runs.
+	models := obs.EvalModels()
 	var results []benchfmt.CompiledPair
 	seen := make(map[string]bool)
 	rng := tensor.NewRNG(77)
 	for _, m := range models {
-		if err := m.g.InferShapes(); err != nil {
+		if err := m.Graph.InferShapes(); err != nil {
 			fail(err)
 		}
-		for _, n := range m.g.Topo() {
+		for _, n := range m.Graph.Topo() {
 			switch n.Kind {
 			case graph.OpConv:
 				spec := n.Attrs.Conv
@@ -423,7 +419,7 @@ func benchCompiled(withMetrics, withSched bool) {
 				seen[key] = true
 				l, _, err := ipe.EncodeConv(n.Param("weight"), n.Param("bias"), spec, 4, quant.PerTensor, ipe.DefaultConfig())
 				if err != nil {
-					fail(fmt.Errorf("%s/%s: %w", m.name, n.Name, err))
+					fail(fmt.Errorf("%s/%s: %w", m.Name, n.Name, err))
 				}
 				prog := l.Programs[0]
 				cols := make([]float32, prog.K*p)
@@ -433,7 +429,7 @@ func benchCompiled(withMetrics, withSched bool) {
 				dst := make([]float32, prog.M*p)
 				var si, sc tensor.Scratch
 				c := prog.Compiled()
-				results = append(results, timePair(m.name+"/"+n.Name, "matrix", prog, p,
+				results = append(results, timePair(m.Name+"/"+n.Name, "matrix", prog, p,
 					func() { prog.ExecuteMatrixInto(dst, cols, p, &si) },
 					func() { c.ExecuteMatrixInto(dst, cols, p, &sc) },
 				))
@@ -446,7 +442,7 @@ func benchCompiled(withMetrics, withSched bool) {
 				seen[key] = true
 				l, _, err := ipe.EncodeDense(w, n.Param("bias"), 4, quant.PerTensor, ipe.DefaultConfig())
 				if err != nil {
-					fail(fmt.Errorf("%s/%s: %w", m.name, n.Name, err))
+					fail(fmt.Errorf("%s/%s: %w", m.Name, n.Name, err))
 				}
 				prog := l.Program
 				x := make([]float32, prog.K)
@@ -457,7 +453,7 @@ func benchCompiled(withMetrics, withSched bool) {
 				c := prog.Compiled()
 				scratch := make([]float32, prog.NumSymbols())
 				cScratch := make([]float32, c.ScratchLen())
-				results = append(results, timePair(m.name+"/"+n.Name, "vector", prog, 1,
+				results = append(results, timePair(m.Name+"/"+n.Name, "vector", prog, 1,
 					func() { prog.ExecuteScratch(x, y, scratch) },
 					func() { c.ExecuteScratch(x, y, cScratch) },
 				))

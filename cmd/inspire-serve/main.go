@@ -1,26 +1,43 @@
-// Command inspire-serve is the network inference front end: it compiles the
-// evaluation models once, pools executors behind per-model dynamic
-// batchers, and serves JSON inference over HTTP with admission control.
+// Command inspire-serve is the network inference front end: a versioned,
+// hot-swappable model registry over compiled plans, per-model dynamic
+// batchers with admission control, and JSON inference over HTTP.
 //
 //	inspire-serve                          # lenet5 + squeezenet on :8080
 //	inspire-serve -addr 127.0.0.1:0        # ephemeral port (printed on stdout)
 //	inspire-serve -models lenet5 -force ipe -fuse
 //	inspire-serve -max-batch 64 -slo 2ms -queue 4096
 //	inspire-serve -autotune -tune-cache tuning.json
+//	inspire-serve -share-dict=false        # disable shared-dictionary interning
 //
-// With -autotune (auto impl selection only) each model's plan is seeded from
-// the -tune-cache file, an online bandit routes a small exploration fraction
-// of live traffic through alternate kernel implementations, promotes
-// sustained winners, and writes them back to the cache on drain — so a
-// restarted server plans the measured winners on its first request. Watch it
-// with `inspire-stats -url ...` (the "online autotuner" table).
+// Every model compiles through obs.CompilePlan — the same code path
+// inspire-perf measures — so a served plan and a benchmarked plan differ
+// only in the explicit options (-force/-fuse/-autotune), never in model
+// construction. With -share-dict (the default) all models and all hot-swap
+// versions compile through one content-addressed dictionary store:
+// identical index-pair programs across models and versions are interned
+// once and their compiled emit tables reused, shrinking resident bytes per
+// model (watch the "models" table of `inspire-stats -url ...`).
+//
+// Hot swap: POST /v1/models/{model}/versions with {"seed":N} compiles a new
+// weight version while the old one keeps serving, atomically redirects
+// traffic, drains the old batcher (zero dropped requests — CI enforces it),
+// and releases the old executor pool. Responses carry the serving version,
+// so clients can verify monotonicity across swaps.
+//
+// With -autotune (auto impl selection only) each version's plan is seeded
+// from the -tune-cache file, an online bandit routes a small exploration
+// fraction of live traffic through alternate kernel implementations,
+// promotes sustained winners, and writes them back to the cache on drain.
 //
 // Endpoints:
 //
-//	GET  /healthz                    liveness
-//	GET  /v1/models                  model listing (shapes, batcher limits)
-//	POST /v1/models/{model}/predict  {"data":[...],"shape":[...]} inference
-//	GET  /metrics                    live metrics.Snapshot JSON
+//	GET  /healthz                     liveness
+//	GET  /v1/models                   model listing (shapes, versions, limits)
+//	POST /v1/models/{model}/predict   {"data":[...],"shape":[...]} inference
+//	POST /v1/models/{model}/versions  {"seed":N} compile + hot-swap
+//	GET  /v1/models/{model}/metrics   per-model metrics.Snapshot slice
+//	GET  /v1/registry                 residency report (owned/shared bytes)
+//	GET  /metrics                     live metrics.Snapshot JSON
 //
 // Responses: 200 on success, 400 on malformed input, 404 unknown model,
 // 429 when the admission queue is full (back off and retry), 503 while
@@ -38,11 +55,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/autotune"
+	"repro/internal/ipe"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/runtime"
 	"repro/internal/serve"
 )
@@ -55,11 +75,15 @@ func main() {
 		"implementation to pin every conv/dense layer to: auto, dense, csr, factorized, ipe, winograd")
 	bits := flag.Int("bits", 4, "weight quantization bit-width for encoded implementations")
 	fuse := flag.Bool("fuse", false, "compile with the graph-level scheduler (fusion + tiling)")
+	shareDict := flag.Bool("share-dict", true,
+		"intern index-pair programs through one shared dictionary store across models and versions")
 	maxBatch := flag.Int("max-batch", 32, "flush a batch at this many compiled-batch chunks")
 	slo := flag.Duration("slo", 2*time.Millisecond, "max coalescing wait per request (0 = immediate flush)")
 	queue := flag.Int("queue", 4096, "admission queue depth per model (full queue = 429)")
 	workers := flag.Int("workers", 0, "RunBatch workers per flush (0 = GOMAXPROCS)")
 	inflight := flag.Int("inflight", 2, "concurrent RunBatch flushes per model")
+	poolSize := flag.Duration("pool-resize", 5*time.Second,
+		"traffic-driven executor pool resizing period (0 = off)")
 	tune := flag.Bool("autotune", false,
 		"enable the online autotuner: explore alternate kernel implementations on live traffic and promote measured winners (requires -force auto)")
 	tuneCache := flag.String("tune-cache", "",
@@ -82,20 +106,6 @@ func main() {
 	// Metrics first: batchers and executors resolve the recorder when built.
 	runtime.EnableMetrics()
 
-	want := make(map[string]bool)
-	for _, name := range strings.Split(*models, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			want[name] = true
-		}
-	}
-	reg := serve.NewRegistry()
-	cfg := serve.Config{
-		MaxBatch:    *maxBatch,
-		SLO:         *slo,
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		MaxInFlight: *inflight,
-	}
 	opts := runtime.Options{Force: impl, Bits: *bits, Fuse: *fuse}
 	if *tune && impl != runtime.ImplAuto {
 		fmt.Fprintf(os.Stderr, "inspire-serve: -autotune requires -force auto (got %s)\n", *force)
@@ -111,21 +121,21 @@ func main() {
 		}
 		opts.TuningStore = store
 	}
+	var dict *ipe.DictStore
+	if *shareDict {
+		dict = ipe.NewDictStore()
+		opts.DictStore = dict
+	}
+
+	// Every version of every model — the startup loads below and all later
+	// hot swaps — compiles through this one function, so serving and
+	// benchmarking (inspire-perf) can never drift apart in model setup.
+	var tunersMu sync.Mutex
 	var tuners []*runtime.PlanTuner
-	served := 0
-	for _, m := range obs.EvalModels() {
-		if !want[m.Name] {
-			continue
-		}
-		delete(want, m.Name)
-		plan, err := runtime.Compile(m.Graph, opts)
+	compile := func(model string, seed uint64) (*runtime.Plan, error) {
+		plan, err := obs.CompilePlan(model, seed, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "inspire-serve: compiling %s: %v\n", m.Name, err)
-			os.Exit(1)
-		}
-		if _, err := reg.Register(m.Name, plan, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
-			os.Exit(1)
+			return nil, err
 		}
 		if *tune {
 			pt, err := plan.StartTuner(runtime.TunerConfig{
@@ -135,18 +145,56 @@ func main() {
 				StorePath: *tuneCache,
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "inspire-serve: autotuning %s: %v\n", m.Name, err)
-				os.Exit(1)
+				return nil, fmt.Errorf("autotuning %s: %w", model, err)
 			}
+			tunersMu.Lock()
 			tuners = append(tuners, pt)
+			tunersMu.Unlock()
 		}
-		fmt.Printf("inspire-serve: %s compiled (force=%s fuse=%v autotune=%v, input %v)\n",
-			m.Name, *force, *fuse, *tune, plan.Graph.In.OutShape)
+		return plan, nil
+	}
+
+	reg, err := registry.New(registry.Options{
+		Compile: compile,
+		Serve: serve.Config{
+			MaxBatch:    *maxBatch,
+			SLO:         *slo,
+			QueueDepth:  *queue,
+			Workers:     *workers,
+			MaxInFlight: *inflight,
+		},
+		DictStore: dict,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	served := 0
+	for _, name := range strings.Split(*models, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		v, err := reg.Add(name, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inspire-serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("inspire-serve: %s v%d compiled (force=%s fuse=%v autotune=%v share-dict=%v, input %v)\n",
+			name, v.Version, *force, *fuse, *tune, *shareDict, v.Plan.Graph.In.OutShape)
 		served++
 	}
-	if len(want) > 0 || served == 0 {
-		fmt.Fprintf(os.Stderr, "inspire-serve: unknown models %v (have lenet5, squeezenet)\n", want)
+	if served == 0 {
+		fmt.Fprintln(os.Stderr, "inspire-serve: no models")
 		os.Exit(2)
+	}
+	if dict != nil {
+		st := dict.Stats()
+		fmt.Printf("inspire-serve: shared dict: %d unique programs, %d hits, %d bytes saved\n",
+			st.UniquePrograms, st.ProgramHits+st.DictHits, st.SavedBytes)
+	}
+	if *poolSize > 0 {
+		reg.StartPoolSizer(*poolSize)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -190,12 +238,15 @@ func main() {
 	reg.Close()
 	// Batchers are drained: freeze routing at the promoted winners and
 	// persist them so the next start plans the tuned configuration.
+	tunersMu.Lock()
 	for _, pt := range tuners {
 		if err := pt.Stop(); err != nil {
 			fmt.Fprintf(os.Stderr, "inspire-serve: saving tuning cache: %v\n", err)
 		}
 	}
-	if len(tuners) > 0 && *tuneCache != "" {
+	n := len(tuners)
+	tunersMu.Unlock()
+	if n > 0 && *tuneCache != "" {
 		fmt.Printf("inspire-serve: tuning cache saved to %s (%d entries)\n", *tuneCache, store.Len())
 	}
 	fmt.Println("inspire-serve: drained, bye")

@@ -14,7 +14,10 @@
 // With -url it skips the local run and instead pulls the live snapshot from
 // a running inspire-serve instance's /metrics endpoint, adding the serving
 // table (per-endpoint admission counters, batch coalescing, QPS, latency
-// percentiles) above the usual layer/pool/executor breakdown:
+// percentiles), the hot-swap registry's per-model table (serving version,
+// swaps, resident bytes after shared-dictionary interning, QPS/GB density,
+// and the models × QPS per GB capacity figure), and the shared dictionary
+// store's dedup ledger above the usual layer/pool/executor breakdown:
 //
 //	inspire-stats -url http://127.0.0.1:8080
 //	inspire-stats -url http://127.0.0.1:8080 -json
@@ -120,6 +123,17 @@ func renderLive(s metrics.Snapshot, jsonOut bool) {
 	}
 	obs.EndpointTable("serving endpoints", s).Fprint(os.Stdout)
 	fmt.Println()
+	if len(s.Models) > 0 {
+		obs.ModelTable("models (hot-swap registry)", s).Fprint(os.Stdout)
+		if cap := obs.Capacity(s); cap > 0 {
+			fmt.Printf("serving capacity: %.1f models x QPS per GB resident\n", cap)
+		}
+		fmt.Println()
+	}
+	if s.SharedDict != nil {
+		obs.SharedDictTable(s).Fprint(os.Stdout)
+		fmt.Println()
+	}
 	if len(s.Autotune) > 0 {
 		obs.AutotuneTable("online autotuner", s, "").Fprint(os.Stdout)
 		fmt.Println()

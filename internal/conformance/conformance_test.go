@@ -11,10 +11,11 @@ import (
 // configurations through every registered implementation family (the
 // acceptance bar for the differential harness).
 const (
-	convSeeds    = 80
-	denseSeeds   = 70
-	programSeeds = 40
-	graphSeeds   = 20
+	convSeeds      = 80
+	denseSeeds     = 70
+	programSeeds   = 40
+	graphSeeds     = 20
+	sharedDictSeed = 10
 )
 
 func TestConvConformance(t *testing.T) {
@@ -47,6 +48,17 @@ func TestGraphConformance(t *testing.T) {
 	}
 	for seed := uint64(1); seed <= graphSeeds; seed++ {
 		if err := CheckGraph(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSharedDictConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shared-dict conformance compiles several plans per seed")
+	}
+	for seed := uint64(1); seed <= sharedDictSeed; seed++ {
+		if err := CheckSharedDict(seed); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -631,3 +631,92 @@ func CheckGraph(seed uint64) error {
 	}
 	return nil
 }
+
+// CheckSharedDict rebuilds the model-graph case for seed and enforces the
+// shared-dictionary bit-identity contract: for every forceable runtime
+// implementation plus auto-selection, two plans compiled through one shared
+// ipe.DictStore — the multi-model serving configuration — must produce
+// outputs bit-identical to an unshared compile of the same graph, on Run
+// and on chunked RunBatch. Interning may alias dictionary tables and reuse
+// compiled emit passes across the plans, but never change a single output
+// bit. For forced IPE the store must also actually intern (the second
+// identical compile hits the program cache), so the check cannot pass
+// vacuously with the store bypassed.
+func CheckSharedDict(seed uint64) error {
+	gc := GenGraph(seed)
+
+	// One store across all implementations and both shared plans, like one
+	// serving process hosting every model: a program interned under one
+	// forced implementation must never leak wrong bits into another.
+	store := ipe.NewDictStore()
+	impls := append([]runtime.Impl{runtime.ImplAuto}, runtime.ForceableImpls()...)
+	for _, impl := range impls {
+		tag := fmt.Sprintf("shared-dict[force=%v]", impl)
+		base, err := runtime.Compile(gc.Graph.Clone(), runtime.Options{Force: impl})
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s: Compile(unshared): %w", seed, tag, err)
+		}
+		want, err := base.Run(gc.Input)
+		if err != nil {
+			return fmt.Errorf("conformance: seed %d: %s: Run(unshared): %w", seed, tag, err)
+		}
+
+		shared := runtime.Options{Force: impl, DictStore: store}
+		var prev *runtime.Plan
+		for i := 0; i < 2; i++ {
+			plan, err := runtime.Compile(gc.Graph.Clone(), shared)
+			if err != nil {
+				return fmt.Errorf("conformance: seed %d: %s: Compile(shared %d): %w", seed, tag, i+1, err)
+			}
+			name := fmt.Sprintf("%s/plan%d", tag, i+1)
+			out, err := plan.Run(gc.Input)
+			if err != nil {
+				return fmt.Errorf("conformance: seed %d: %s: Run: %w", seed, name, err)
+			}
+			if err := checkExact(seed, name, "unshared plan", out.Data(), want.Data()); err != nil {
+				return err
+			}
+
+			// Two-chunk RunBatch through the shared plan must reproduce the
+			// single run chunk for chunk (the serving batcher's path).
+			inShape := plan.Graph.In.OutShape
+			batched := tensor.New(append([]int{2 * inShape[0]}, inShape[1:]...)...)
+			per := gc.Input.NumElements()
+			copy(batched.Data()[0:per], gc.Input.Data())
+			copy(batched.Data()[per:2*per], gc.Input.Data())
+			bout, err := plan.RunBatch(batched, 2)
+			if err != nil {
+				return fmt.Errorf("conformance: seed %d: %s: RunBatch: %w", seed, name, err)
+			}
+			perOut := bout.NumElements() / 2
+			for c := 0; c < 2; c++ {
+				if err := checkExact(seed, fmt.Sprintf("%s/run-batch/chunk%d", name, c),
+					"unshared plan", bout.Data()[c*perOut:(c+1)*perOut], want.Data()); err != nil {
+					return err
+				}
+			}
+
+			// The second identical compile must intern to the first plan's
+			// canonical programs, not re-own copies.
+			if prev != nil && impl == runtime.ImplIPE {
+				p1, p2 := prev.IPEPrograms(), plan.IPEPrograms()
+				if len(p1) != len(p2) {
+					return fmt.Errorf("conformance: seed %d: %s: program count %d != %d",
+						seed, name, len(p2), len(p1))
+				}
+				for j := range p1 {
+					if p1[j] != p2[j] {
+						return fmt.Errorf("conformance: seed %d: %s: program %d not interned to the canonical instance",
+							seed, name, j)
+					}
+				}
+			}
+			prev = plan
+		}
+	}
+	if store.Stats().Lookups > 0 && store.Stats().ProgramHits == 0 {
+		return fmt.Errorf("conformance: seed %d: shared-dict store interned %d programs but deduplicated none across identical compiles",
+			seed, store.Stats().Lookups)
+	}
+	return nil
+}

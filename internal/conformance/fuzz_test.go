@@ -50,3 +50,14 @@ func FuzzConformanceGraph(f *testing.F) {
 		}
 	})
 }
+
+func FuzzConformanceSharedDict(f *testing.F) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckSharedDict(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

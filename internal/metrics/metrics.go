@@ -89,6 +89,13 @@ type Recorder struct {
 
 	atByName  map[string]*AutotuneStats
 	atOrdered []*AutotuneStats
+
+	mdByName  map[string]*ModelStats
+	mdOrdered []*ModelStats
+
+	// sharedDict holds the latest shared-dictionary gauge set published by
+	// ipe.DictStore (nil until a store publishes).
+	sharedDict atomic.Pointer[SharedDictStats]
 }
 
 // New builds an empty Recorder. Most callers use Enable instead, which
@@ -99,6 +106,7 @@ func New() *Recorder {
 		regByName: make(map[string]*RegionStats),
 		epByName:  make(map[string]*EndpointStats),
 		atByName:  make(map[string]*AutotuneStats),
+		mdByName:  make(map[string]*ModelStats),
 	}
 }
 

@@ -114,9 +114,15 @@ type Snapshot struct {
 	// Autotune lists the online-tuner series (empty unless a plan tuner is
 	// running).
 	Autotune []AutotuneSnapshot `json:"autotune,omitempty"`
-	Kernels  map[string]int64   `json:"kernel_dispatches"`
-	Pool    PoolSnapshot     `json:"pool"`
-	Exec    ExecSnapshot     `json:"executor"`
+	// Models lists the versioned-registry series (empty unless a registry
+	// published model state).
+	Models []ModelSnapshot `json:"models,omitempty"`
+	// SharedDict reports the shared-dictionary store's dedup gauges (nil
+	// unless an ipe.DictStore published).
+	SharedDict *SharedDictSnapshot `json:"shared_dict,omitempty"`
+	Kernels    map[string]int64    `json:"kernel_dispatches"`
+	Pool       PoolSnapshot        `json:"pool"`
+	Exec       ExecSnapshot        `json:"executor"`
 }
 
 // Snapshot captures every series of the recorder. Layers appear in
@@ -133,6 +139,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	regions := append([]*RegionStats(nil), r.regOrdered...)
 	endpoints := append([]*EndpointStats(nil), r.epOrdered...)
 	autotune := append([]*AutotuneStats(nil), r.atOrdered...)
+	models := append([]*ModelStats(nil), r.mdOrdered...)
 	r.mu.Unlock()
 	s.Layers = make([]LayerSnapshot, 0, len(layers))
 	for _, l := range layers {
@@ -146,6 +153,19 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	for _, at := range autotune {
 		s.Autotune = append(s.Autotune, at.Snapshot())
+	}
+	for _, md := range models {
+		s.Models = append(s.Models, md.Snapshot())
+	}
+	if d := r.sharedDict.Load(); d != nil {
+		s.SharedDict = &SharedDictSnapshot{
+			Lookups:        d.Lookups,
+			ProgramHits:    d.ProgramHits,
+			DictHits:       d.DictHits,
+			UniquePrograms: d.UniquePrograms,
+			UniqueBytes:    d.UniqueBytes,
+			SavedBytes:     d.SavedBytes,
+		}
 	}
 	s.Kernels = make(map[string]int64)
 	for k := Kernel(0); k < KernelCount; k++ {

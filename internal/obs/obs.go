@@ -24,19 +24,88 @@ type Model struct {
 	Input *tensor.Tensor
 }
 
-// EvalModels builds the two evaluation networks (LeNet-5 and the 32x32
-// SqueezeNet) with deterministic weights and inputs, matching the
-// geometries the BENCH_3 report measures.
-func EvalModels() []Model {
+// Default weight seeds for the evaluation networks: the geometries and
+// weights every report (BENCH_2/3), the conformance sweep, and the serving
+// CLIs agree on. GraphByName maps seed 0 here.
+const (
+	LeNet5Seed     = 9
+	SqueezeNetSeed = 11
+)
+
+// GraphByName builds the named evaluation network with seed-derived
+// weights. Seed 0 selects the model's default evaluation seed, so every
+// caller — inspire-serve, inspire-perf, inspire-stats, the conformance
+// sweep — constructs bit-identical graphs from the same name. Non-zero
+// seeds produce distinct weight versions of the same architecture (the
+// hot-swap registry's version loads).
+func GraphByName(name string, seed uint64) (*graph.Graph, error) {
+	switch name {
+	case "lenet5":
+		if seed == 0 {
+			seed = LeNet5Seed
+		}
+		return nn.LeNet5(1, seed), nil
+	case "squeezenet":
+		if seed == 0 {
+			seed = SqueezeNetSeed
+		}
+		return nn.SqueezeNet(1, 32, 10, seed), nil
+	}
+	return nil, fmt.Errorf("obs: unknown model %q (have lenet5, squeezenet)", name)
+}
+
+// InputFor returns the deterministic serving input for the named model
+// (the same tensors EvalModels fills).
+func InputFor(name string) (*tensor.Tensor, error) {
 	rng := tensor.NewRNG(99)
 	lin := tensor.New(1, 1, 28, 28)
 	tensor.FillGaussian(lin, rng, 1)
 	sin := tensor.New(1, 3, 32, 32)
 	tensor.FillGaussian(sin, rng, 1)
-	return []Model{
-		{Name: "lenet5", Graph: nn.LeNet5(1, 9), Input: lin},
-		{Name: "squeezenet", Graph: nn.SqueezeNet(1, 32, 10, 11), Input: sin},
+	switch name {
+	case "lenet5":
+		return lin, nil
+	case "squeezenet":
+		return sin, nil
 	}
+	return nil, fmt.Errorf("obs: unknown model %q (have lenet5, squeezenet)", name)
+}
+
+// CompilePlan is the one compile path the serving and benchmarking CLIs
+// share: it builds the named evaluation model at the given weight seed and
+// compiles it through exactly the options the caller passes — so a plan
+// served by inspire-serve and a plan measured by inspire-perf differ in
+// nothing but the caller's explicit Options (Force/Fuse/TuningStore/
+// DictStore), never in model construction.
+func CompilePlan(name string, seed uint64, opts runtime.Options) (*runtime.Plan, error) {
+	g, err := GraphByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := runtime.Compile(g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("obs: compile %s: %w", name, err)
+	}
+	return plan, nil
+}
+
+// EvalModels builds the two evaluation networks (LeNet-5 and the 32x32
+// SqueezeNet) with deterministic weights and inputs, matching the
+// geometries the BENCH_3 report measures.
+func EvalModels() []Model {
+	models := make([]Model, 0, 2)
+	for _, name := range []string{"lenet5", "squeezenet"} {
+		g, err := GraphByName(name, 0)
+		if err != nil {
+			panic(err) // static names; unreachable
+		}
+		in, err := InputFor(name)
+		if err != nil {
+			panic(err)
+		}
+		models = append(models, Model{Name: name, Graph: g, Input: in})
+	}
+	return models
 }
 
 // Meter compiles each model with the given options, runs it `runs` times at
@@ -195,6 +264,82 @@ func EndpointTable(title string, s metrics.Snapshot) *report.Table {
 		)
 	}
 	return t
+}
+
+// ModelTable renders the hot-swap registry's per-model rows: the serving
+// version, completed swaps, the plan's attributable resident bytes after
+// shared-dictionary interning (plus the bytes it references from programs
+// another model owns), the warm executor pool size, and the model's
+// serving-capacity density — QPS per GB of resident model bytes, computed
+// from the model's endpoint series. Snapshots without a registry render a
+// header-only table.
+func ModelTable(title string, s metrics.Snapshot) *report.Table {
+	eps := make(map[string]metrics.EndpointSnapshot, len(s.Endpoints))
+	for _, ep := range s.Endpoints {
+		eps[ep.Name] = ep
+	}
+	t := report.NewTable(title,
+		"model", "version", "swaps", "resident", "shared refs", "pool", "qps", "qps/GB")
+	for _, m := range s.Models {
+		qps := eps[m.Name].QPS
+		density := 0.0
+		if m.ResidentBytes > 0 {
+			density = qps / (float64(m.ResidentBytes) / 1e9)
+		}
+		t.AddRow(
+			m.Name,
+			report.Count(m.Version),
+			report.Count(m.Swaps),
+			report.Bytes(m.ResidentBytes),
+			report.Bytes(m.SharedBytes),
+			report.Count(m.PoolExecutors),
+			report.Num(qps),
+			report.Num(density),
+		)
+	}
+	return t
+}
+
+// SharedDictTable renders the shared dictionary store's dedup gauges: how
+// many encode results were interned, the program- and dictionary-level hit
+// counts, and the byte ledger (unique resident vs saved by interning).
+func SharedDictTable(s metrics.Snapshot) *report.Table {
+	t := report.NewTable("shared dictionary store",
+		"lookups", "program hits", "dict hits", "unique programs",
+		"unique bytes", "saved bytes")
+	if d := s.SharedDict; d != nil {
+		t.AddRow(
+			report.Count(d.Lookups),
+			report.Count(d.ProgramHits),
+			report.Count(d.DictHits),
+			report.Count(d.UniquePrograms),
+			report.Bytes(d.UniqueBytes),
+			report.Bytes(d.SavedBytes),
+		)
+	}
+	return t
+}
+
+// Capacity computes the snapshot's serving-capacity figure of merit:
+// models × aggregate QPS per GB of total resident model bytes. Shared
+// dictionaries raise it twice — once because each model's resident bytes
+// shrink, once because more models fit the same GB. Returns 0 when the
+// snapshot has no registry rows or no traffic.
+func Capacity(s metrics.Snapshot) float64 {
+	var resident int64
+	var qps float64
+	eps := make(map[string]metrics.EndpointSnapshot, len(s.Endpoints))
+	for _, ep := range s.Endpoints {
+		eps[ep.Name] = ep
+	}
+	for _, m := range s.Models {
+		resident += m.ResidentBytes
+		qps += eps[m.Name].QPS
+	}
+	if resident == 0 || qps == 0 {
+		return 0
+	}
+	return float64(len(s.Models)) * qps / (float64(resident) / 1e9)
 }
 
 // ExecTable renders the executor/arena telemetry: pooling behavior, run

@@ -1,0 +1,95 @@
+//go:build race
+
+package registry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ipe"
+	"repro/internal/metrics"
+)
+
+// TestSwapDrainsWithoutDropsUnderRace hammers Predict from many goroutines
+// while hot-swapping versions in a loop. Run under -race (build-tagged) it
+// proves the swap handshake: zero errors, per-client monotonically
+// non-decreasing versions, and every retired version's executor pool
+// released (the arena-residency gauge balances back to the live versions).
+func TestSwapDrainsWithoutDropsUnderRace(t *testing.T) {
+	rec := metrics.Enable()
+	defer metrics.Disable()
+	r := testRegistry(t, ipe.NewDictStore())
+	defer r.Close()
+	if _, err := r.Add("m", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	const swaps = 6
+	in := testInput()
+	var served atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := int64(0)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_, ver, err := r.Predict("m", in)
+				if err != nil {
+					t.Errorf("request dropped during swap: %v", err)
+					return
+				}
+				if ver < last {
+					t.Errorf("version regressed %d -> %d", last, ver)
+					return
+				}
+				last = ver
+				served.Add(1)
+			}
+		}()
+	}
+
+	retired := make([]*Version, 0, swaps)
+	m, _ := r.Model("m")
+	for i := 0; i < swaps; i++ {
+		old := m.Current()
+		if _, err := r.Swap("m", uint64(i+2)); err != nil {
+			t.Fatal(err)
+		}
+		retired = append(retired, old)
+		time.Sleep(10 * time.Millisecond) // let traffic land on the new version
+	}
+	close(done)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no requests served")
+	}
+	if got := m.Current().Version; got != swaps+1 {
+		t.Fatalf("final version = %d, want %d", got, swaps+1)
+	}
+	if got := m.Swaps(); got != swaps {
+		t.Fatalf("swap count = %d, want %d", got, swaps)
+	}
+	for i, v := range retired {
+		if n := v.Plan.PooledExecutors(); n != 0 {
+			t.Fatalf("retired version %d still pools %d executors", i+1, n)
+		}
+	}
+	// Residency gauge: only the live version may hold warm executors. Close
+	// the registry and the gauge must balance to zero — every arena of every
+	// retired pool was subtracted exactly once.
+	r.Close()
+	if got := rec.Exec.ArenaBytesResident.Load(); got != 0 {
+		t.Fatalf("arena residency after close = %d, want 0 (leaked executor arenas)", got)
+	}
+}

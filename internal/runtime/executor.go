@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"time"
 
 	"repro/internal/baseline"
@@ -523,19 +524,27 @@ func (p *Plan) acquireExecutor(rec *metrics.Recorder) *Executor {
 	if rec != nil {
 		rec.Exec.Acquires.Add(1)
 	}
-	if v := p.executors.Get(); v != nil {
+	p.poolMu.Lock()
+	if n := len(p.poolFree); n > 0 {
+		e := p.poolFree[n-1]
+		p.poolFree[n-1] = nil
+		p.poolFree = p.poolFree[:n-1]
+		p.poolMu.Unlock()
 		if rec != nil {
 			rec.Exec.PoolReuses.Add(1)
 		}
-		return v.(*Executor)
+		return e
 	}
+	p.poolMu.Unlock()
 	return p.newExecutor(rec)
 }
 
 // ReleaseExecutor returns an Executor to the plan's pool for reuse,
 // restoring the default parallelism so the next acquirer starts from a
 // known setting. The caller must not use the executor (or tensors returned
-// by its Run) after release.
+// by its Run) after release. Executors beyond the pool's capacity — or
+// returned after ReleasePool — are discarded and their arena bytes
+// subtracted from the resident gauge.
 func (p *Plan) ReleaseExecutor(e *Executor) {
 	p.releaseExecutor(e, metrics.Get())
 }
@@ -550,5 +559,68 @@ func (p *Plan) releaseExecutor(e *Executor, rec *metrics.Recorder) {
 		rec.Exec.Releases.Add(1)
 	}
 	e.SetParallelism(0)
-	p.executors.Put(e)
+	p.poolMu.Lock()
+	if !p.poolClosed && len(p.poolFree) < p.poolCapLocked() {
+		p.poolFree = append(p.poolFree, e)
+		p.poolMu.Unlock()
+		return
+	}
+	p.poolMu.Unlock()
+	e.discard()
+}
+
+// poolCapLocked returns the effective pool capacity; callers hold poolMu.
+func (p *Plan) poolCapLocked() int {
+	if p.poolCap > 0 {
+		return p.poolCap
+	}
+	return 2 * goruntime.GOMAXPROCS(0)
+}
+
+// SetPoolCap bounds the number of warm executors the plan keeps between
+// runs (0 restores the default, 2×GOMAXPROCS). The registry sizes pools by
+// observed per-model traffic through this. Lowering the cap takes effect as
+// executors are released; it does not discard already-pooled ones.
+func (p *Plan) SetPoolCap(n int) {
+	p.poolMu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	p.poolCap = n
+	p.poolMu.Unlock()
+}
+
+// PooledExecutors returns the number of warm executors currently parked in
+// the plan's free-list.
+func (p *Plan) PooledExecutors() int {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	return len(p.poolFree)
+}
+
+// ReleasePool discards every pooled executor and closes the pool: executors
+// still in flight are discarded as they are returned instead of re-pooled,
+// so once the last request drains, none of the plan's warm arenas remain
+// resident. This is the hot-swap teardown path — the registry calls it
+// after the old version's batcher has drained. Returns the number of
+// executors discarded now. The plan itself stays runnable (AcquireExecutor
+// builds fresh executors), just no longer pooling.
+func (p *Plan) ReleasePool() int {
+	p.poolMu.Lock()
+	dead := p.poolFree
+	p.poolFree = nil
+	p.poolClosed = true
+	p.poolMu.Unlock()
+	for _, e := range dead {
+		e.discard()
+	}
+	return len(dead)
+}
+
+// discard retires an executor for good, subtracting its arena from the
+// resident gauge on the recorder that counted it at construction.
+func (e *Executor) discard() {
+	if e.rec != nil {
+		e.rec.Exec.ArenaBytesResident.Add(-e.plan.ArenaBytes)
+	}
 }

@@ -279,8 +279,8 @@ func TestReleaseExecutorForeignPlan(t *testing.T) {
 	e := p1.NewExecutor()
 	p2.ReleaseExecutor(e) // must be ignored
 	p2.ReleaseExecutor(nil)
-	if got := p2.executors.Get(); got != nil {
-		t.Fatalf("foreign executor entered p2's pool: %v", got)
+	if got := p2.PooledExecutors(); got != 0 {
+		t.Fatalf("foreign executor entered p2's pool (%d pooled)", got)
 	}
 }
 

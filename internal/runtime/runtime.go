@@ -75,6 +75,16 @@ type Options struct {
 	Scheme quant.Scheme
 	// IPE configures the index-pair encoder (default ipe.DefaultConfig).
 	IPE ipe.Config
+	// DictStore, when non-nil, interns every encoded IPE program into the
+	// shared dictionary store: layers whose encodings coincide — across
+	// this plan, across plans of other models, and across successive
+	// versions of one model — share a single canonical Program and its
+	// compiled emit pass, shrinking resident bytes per served model.
+	// Execution is bit-identical to an unshared plan (the canonical
+	// program's content equals what the layer encoded; conformance's
+	// shared-dict variant enforces this). The store is safe for
+	// concurrent use from parallel compiles.
+	DictStore *ipe.DictStore
 	// HW is the accelerator model (default accel.Default).
 	HW accel.Config
 	// Force pins every conv/dense operator to one implementation;
@@ -205,9 +215,17 @@ type Plan struct {
 	// load — so untuned plans pay nothing on the hot path.
 	live atomic.Pointer[liveTuner]
 
-	// executors recycles Executors across Run/RunBatch calls so steady-state
-	// inference reuses warm arenas instead of reallocating them.
-	executors sync.Pool
+	// Executor recycling: an explicit bounded free-list instead of a
+	// sync.Pool, so releases are deterministic — ReleasePool can prove the
+	// warm arenas of a hot-swapped-out plan are gone, and the resident-byte
+	// accounting balances exactly even under the race detector (which makes
+	// sync.Pool drop Puts at random). Guarded by poolMu; poolClosed marks a
+	// plan whose pool was released, after which returned executors are
+	// discarded rather than re-pooled.
+	poolMu     sync.Mutex
+	poolFree   []*Executor
+	poolCap    int // 0 = default (2×GOMAXPROCS)
+	poolClosed bool
 }
 
 // Compile optimizes g in place, builds every candidate implementation for
@@ -404,10 +422,13 @@ func compileConv(n *graph.Node, opts Options) (CompiledOp, error) {
 		if err != nil {
 			return op, err
 		}
-		// Lower every program to its compiled serving form now, so the
-		// first Run never pays the lazy compilation inside the hot path.
-		for _, prog := range ipeL.Programs {
-			prog.Compiled()
+		// Intern first (duplicates collapse to the canonical program, so a
+		// hit reuses an already-lowered form), then lower every program to
+		// its compiled serving form now, so the first Run never pays the
+		// lazy compilation inside the hot path.
+		for i, prog := range ipeL.Programs {
+			ipeL.Programs[i] = opts.DictStore.Intern(prog)
+			ipeL.Programs[i].Compiled()
 		}
 		op.ipeConv = ipeL
 		op.profiles[ImplIPE] = accel.IPEConvProfile(ipeL, wl.N, wl.H, wl.W)
@@ -484,6 +505,7 @@ func compileDense(n *graph.Node, opts Options) (CompiledOp, error) {
 		if err != nil {
 			return op, err
 		}
+		ipeL.Program = opts.DictStore.Intern(ipeL.Program)
 		ipeL.Program.Compiled() // lower the serving form at plan time
 		op.ipeDense = ipeL
 		ic := ipeL.Program.Cost()

@@ -156,14 +156,21 @@ func (b *Batcher) Submit(input *tensor.Tensor) (*tensor.Tensor, error) {
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		b.eps.RejectedClosed.Add(1)
+		// eps is nil when the batcher was built with metrics disabled; the
+		// counter fields are plain atomics, so guard unlike the nil-safe
+		// method calls.
+		if b.eps != nil {
+			b.eps.RejectedClosed.Add(1)
+		}
 		return nil, ErrClosed
 	}
 	select {
 	case b.queue <- req:
 	default:
 		b.mu.RUnlock()
-		b.eps.RejectedOverload.Add(1)
+		if b.eps != nil {
+			b.eps.RejectedOverload.Add(1)
+		}
 		return nil, ErrOverloaded
 	}
 	b.eps.ObserveQueueDepth(len(b.queue))
@@ -171,7 +178,9 @@ func (b *Batcher) Submit(input *tensor.Tensor) (*tensor.Tensor, error) {
 
 	res := <-req.resp
 	if res.err != nil {
-		b.eps.Errors.Add(1)
+		if b.eps != nil {
+			b.eps.Errors.Add(1)
+		}
 		return nil, res.err
 	}
 	now := time.Now()

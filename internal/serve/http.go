@@ -19,8 +19,13 @@ type PredictRequest struct {
 	Data  []float32 `json:"data"`
 }
 
-// PredictResponse is the JSON inference response body.
+// PredictResponse is the JSON inference response body. Model and Version
+// identify which model instance actually served the request, so load
+// drivers can detect mis-routing and verify version monotonicity across
+// hot swaps.
 type PredictResponse struct {
+	Model     string    `json:"model"`
+	Version   int64     `json:"version"`
 	Shape     []int     `json:"shape"`
 	Data      []float32 `json:"data"`
 	LatencyNs int64     `json:"latency_ns"`
@@ -29,6 +34,7 @@ type PredictResponse struct {
 // ModelInfo describes one served model in the /v1/models listing.
 type ModelInfo struct {
 	Name        string `json:"name"`
+	Version     int64  `json:"version,omitempty"`
 	InputShape  []int  `json:"input_shape"`
 	OutputShape []int  `json:"output_shape"`
 	MaxBatch    int    `json:"max_batch"`
@@ -40,14 +46,43 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// NewHandler builds the serving mux over the registry:
+// ErrUnknownModel is returned by Provider.Predict for names that are not
+// served (HTTP 404).
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// Provider is what the HTTP front end serves: a set of named models that
+// answer predict requests. The single-version Registry implements it
+// directly; the versioned hot-swap registry (internal/registry) implements
+// it with swap-aware routing.
+type Provider interface {
+	// Names lists the served model names, sorted.
+	Names() []string
+	// Info describes one served model.
+	Info(name string) (ModelInfo, bool)
+	// Predict runs one request through the named model, returning the
+	// output and the model version that served it. Unknown names return
+	// ErrUnknownModel.
+	Predict(name string, input *tensor.Tensor) (*tensor.Tensor, int64, error)
+}
+
+// muxExtender is implemented by providers that install extra routes (the
+// versioned registry adds its version-load and per-model metrics
+// endpoints). NewHandler calls it after mounting the base routes.
+type muxExtender interface {
+	ExtendMux(mux *http.ServeMux)
+}
+
+// NewHandler builds the serving mux over the provider:
 //
 //	GET  /healthz                   liveness probe
 //	GET  /v1/models                 model listing with shapes
 //	POST /v1/models/{model}/predict JSON inference through the batcher
 //	GET  /metrics                   live metrics.Snapshot JSON (the same
 //	                                schema inspire-stats -json emits)
-func NewHandler(reg *Registry) http.Handler {
+//
+// Providers implementing ExtendMux(*http.ServeMux) get to add routes (e.g.
+// POST /v1/models/{model}/versions on the hot-swap registry).
+func NewHandler(p Provider) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -55,31 +90,29 @@ func NewHandler(reg *Registry) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
 		infos := make([]ModelInfo, 0)
-		for _, name := range reg.Names() {
-			m, _ := reg.Get(name)
-			cfg := m.Batcher.cfg
-			infos = append(infos, ModelInfo{
-				Name:        name,
-				InputShape:  m.Plan.Graph.In.OutShape,
-				OutputShape: m.Plan.Graph.Out.OutShape,
-				MaxBatch:    cfg.MaxBatch,
-				SLONs:       cfg.SLO.Nanoseconds(),
-			})
+		for _, name := range p.Names() {
+			if info, ok := p.Info(name); ok {
+				infos = append(infos, info)
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"models": infos})
 	})
 	mux.HandleFunc("POST /v1/models/{model}/predict", func(w http.ResponseWriter, r *http.Request) {
-		handlePredict(reg, w, r)
+		handlePredict(p, w, r)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		metrics.Capture().WriteJSON(w)
 	})
+	if ext, ok := p.(muxExtender); ok {
+		ext.ExtendMux(mux)
+	}
 	return mux
 }
 
-func handlePredict(reg *Registry, w http.ResponseWriter, r *http.Request) {
-	m, ok := reg.Get(r.PathValue("model"))
+func handlePredict(p Provider, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	info, ok := p.Info(name)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown model"})
 		return
@@ -92,7 +125,7 @@ func handlePredict(reg *Registry, w http.ResponseWriter, r *http.Request) {
 	}
 	shape := req.Shape
 	if len(shape) == 0 {
-		shape = m.Plan.Graph.In.OutShape
+		shape = info.InputShape
 	}
 	n := 1
 	for _, d := range shape {
@@ -110,10 +143,12 @@ func handlePredict(reg *Registry, w http.ResponseWriter, r *http.Request) {
 
 	input := tensor.From(req.Data, shape...)
 	start := time.Now()
-	out, err := m.Batcher.Submit(input)
+	out, version, err := p.Predict(name, input)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
+		case errors.Is(err, ErrUnknownModel):
+			status = http.StatusNotFound
 		case errors.Is(err, ErrOverloaded):
 			status = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", "1")
@@ -126,6 +161,8 @@ func handlePredict(reg *Registry, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{
+		Model:     name,
+		Version:   version,
 		Shape:     out.Shape(),
 		Data:      out.Data(),
 		LatencyNs: time.Since(start).Nanoseconds(),

@@ -31,6 +31,16 @@ type LoadConfig struct {
 	Items int
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
+
+	// SwapModel, when non-empty, hot-swaps that model mid-run: after
+	// SwapAfter (default Duration/2) the driver POSTs
+	// /v1/models/{SwapModel}/versions with SwapSeed, while the clients keep
+	// firing. The report then carries the swap outcome, and when SwapModel
+	// == Model the version checks prove zero requests dropped or regressed
+	// across the swap.
+	SwapModel string
+	SwapSeed  uint64
+	SwapAfter time.Duration
 }
 
 // LoadReport aggregates one run: client-side status counts and exact
@@ -52,6 +62,23 @@ type LoadReport struct {
 	P99      time.Duration `json:"p99_ns"`
 	MaxLat   time.Duration `json:"max_latency_ns"`
 
+	// Routing/versioning verification over the response bodies: MisRouted
+	// counts 200s whose body named a different model; VersionRegressions
+	// counts responses a client saw with a version lower than one it had
+	// already seen (each client is closed-loop, so its version sequence
+	// must be non-decreasing across hot swaps); MinVersion/MaxVersion
+	// bound the versions observed.
+	MisRouted          int64 `json:"mis_routed"`
+	VersionRegressions int64 `json:"version_regressions"`
+	MinVersion         int64 `json:"min_version,omitempty"`
+	MaxVersion         int64 `json:"max_version,omitempty"`
+
+	// Swap outcome (zero values unless LoadConfig requested a mid-run
+	// swap): the HTTP status of the version POST and the version it
+	// reported serving afterwards.
+	SwapStatus  int   `json:"swap_status,omitempty"`
+	SwapVersion int64 `json:"swap_version,omitempty"`
+
 	// Endpoint is the server's view of this endpoint after the run (zero
 	// value if /metrics was unreachable).
 	Endpoint metrics.EndpointSnapshot `json:"endpoint"`
@@ -60,7 +87,9 @@ type LoadReport struct {
 // RunLoad executes the load run: it discovers the model's input shape from
 // /v1/models, builds one deterministic payload, fires Clients closed-loop
 // workers for Duration, and aggregates exact percentiles over every
-// completed request.
+// completed request. Every 200 body is parsed and verified: it must name
+// the requested model, and each client's observed version sequence must be
+// non-decreasing.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
@@ -96,18 +125,40 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		},
 	}
 
-	var ok, dropped, failed atomic.Int64
+	var ok, dropped, failed, misrouted, regressions atomic.Int64
+	var minVersion, maxVersion atomic.Int64
 	lats := make([][]time.Duration, cfg.Clients)
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
+	rep := &LoadReport{
+		Model:   cfg.Model,
+		Clients: cfg.Clients,
+	}
+
+	var swapWG sync.WaitGroup
+	if cfg.SwapModel != "" {
+		after := cfg.SwapAfter
+		if after <= 0 {
+			after = cfg.Duration / 2
+		}
+		swapWG.Add(1)
+		go func() {
+			defer swapWG.Done()
+			time.Sleep(after)
+			status, version := postVersion(client, cfg.URL, cfg.SwapModel, cfg.SwapSeed)
+			rep.SwapStatus, rep.SwapVersion = status, version
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			lastVersion := int64(0)
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				status, err := postOnce(client, url, body)
+				status, resp, err := postOnce(client, url, body)
 				lat := time.Since(t0)
 				switch {
 				case err != nil:
@@ -117,6 +168,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				case status >= 200 && status < 300:
 					ok.Add(1)
 					lats[c] = append(lats[c], lat)
+					if resp.Model != "" && resp.Model != cfg.Model {
+						misrouted.Add(1)
+					}
+					if resp.Version > 0 {
+						if resp.Version < lastVersion {
+							regressions.Add(1)
+						}
+						lastVersion = resp.Version
+						atomicMaxI64(&maxVersion, resp.Version)
+						atomicMinNZI64(&minVersion, resp.Version)
+					}
 				default:
 					failed.Add(1)
 				}
@@ -124,6 +186,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}(c)
 	}
 	wg.Wait()
+	swapWG.Wait()
 	elapsed := time.Since(start)
 
 	var all []time.Duration
@@ -131,14 +194,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	rep := &LoadReport{
-		Model:    cfg.Model,
-		Clients:  cfg.Clients,
-		Duration: elapsed,
-		OK:       ok.Load(),
-		Dropped:  dropped.Load(),
-		Failed:   failed.Load(),
-	}
+	rep.Duration = elapsed
+	rep.OK = ok.Load()
+	rep.Dropped = dropped.Load()
+	rep.Failed = failed.Load()
+	rep.MisRouted = misrouted.Load()
+	rep.VersionRegressions = regressions.Load()
+	rep.MinVersion = minVersion.Load()
+	rep.MaxVersion = maxVersion.Load()
 	rep.Requests = rep.OK + rep.Dropped + rep.Failed
 	if elapsed > 0 {
 		rep.QPS = float64(rep.OK) / elapsed.Seconds()
@@ -164,15 +227,42 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
-func postOnce(client *http.Client, url string, body []byte) (int, error) {
+// postOnce fires one predict and parses the response body on 2xx (partial
+// bodies are tolerated: a zero PredictResponse skips the routing checks).
+func postOnce(client *http.Client, url string, body []byte) (int, PredictResponse, error) {
+	var pr PredictResponse
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, pr, err
 	}
 	defer resp.Body.Close()
-	// Drain so the connection goes back to the keep-alive pool.
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		// Decode (and thereby fully drain) the body so the connection goes
+		// back to the keep-alive pool.
+		json.NewDecoder(resp.Body).Decode(&pr)
+	}
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, pr, nil
+}
+
+// postVersion POSTs a hot-swap load request to the versioned registry's
+// versions endpoint and returns the HTTP status and the new version (0 if
+// the response carried none).
+func postVersion(client *http.Client, base, model string, seed uint64) (int, int64) {
+	body, _ := json.Marshal(map[string]any{"seed": seed})
+	resp, err := client.Post(
+		fmt.Sprintf("%s/v1/models/%s/versions", base, model),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var vr struct {
+		Version int64 `json:"version"`
+	}
+	json.NewDecoder(resp.Body).Decode(&vr)
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, vr.Version
 }
 
 // fetchModelInfo pulls /v1/models and returns the named model's entry.
@@ -211,4 +301,24 @@ func FetchSnapshot(base string, timeout time.Duration) (metrics.Snapshot, error)
 		return snap, err
 	}
 	return snap, nil
+}
+
+// atomicMaxI64 raises *a to v if larger.
+func atomicMaxI64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMinNZI64 lowers *a to v, treating 0 as unset.
+func atomicMinNZI64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if (cur != 0 && cur <= v) || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/runtime"
+	"repro/internal/tensor"
 )
 
 // Model is one served network: its name (the endpoint path segment and
@@ -64,6 +65,35 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Info describes the named model for the /v1/models listing; the
+// single-version registry always serves version 1.
+func (r *Registry) Info(name string) (ModelInfo, bool) {
+	m, ok := r.Get(name)
+	if !ok {
+		return ModelInfo{}, false
+	}
+	cfg := m.Batcher.cfg
+	return ModelInfo{
+		Name:        name,
+		Version:     1,
+		InputShape:  m.Plan.Graph.In.OutShape,
+		OutputShape: m.Plan.Graph.Out.OutShape,
+		MaxBatch:    cfg.MaxBatch,
+		SLONs:       cfg.SLO.Nanoseconds(),
+	}, true
+}
+
+// Predict routes one request through the named model's batcher
+// (serve.Provider).
+func (r *Registry) Predict(name string, input *tensor.Tensor) (*tensor.Tensor, int64, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return nil, 0, ErrUnknownModel
+	}
+	out, err := m.Batcher.Submit(input)
+	return out, 1, err
 }
 
 // Close shuts every batcher down, draining admitted requests first.
